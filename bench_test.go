@@ -1,0 +1,84 @@
+// Benchmarks regenerating each table and figure of the paper at reduced
+// scale. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes one full experiment per iteration and reports
+// the experiment's wall time; the actual rows (the paper's data) are
+// printed by cmd/experiments. BenchmarkHeadline additionally reports the
+// paper's headline ratios as custom metrics.
+package bookmarkgc_test
+
+import (
+	"testing"
+
+	"bookmarkgc"
+	"bookmarkgc/internal/bench"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/sim"
+)
+
+// benchScale keeps each experiment iteration in the seconds range.
+const benchScale = 0.02
+
+func benchOpts() bench.Options { return bench.Options{Scale: benchScale, Seed: 1} }
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		reports := e.Run(benchOpts())
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablate") }
+
+// BenchmarkHeadline measures the paper's abstract in one configuration:
+// pseudoJBB under steady pressure (Figure 3's regime), reporting BC's
+// speedup and pause-time reduction over GenMS as custom metrics.
+func BenchmarkHeadline(b *testing.B) {
+	prog := bookmarkgc.PseudoJBB().Scale(0.05)
+	heap := mem.RoundUpPage(77 * (1 << 20) * 5 / 100)
+	phys := mem.RoundUpPage(100 * (1 << 20) * 5 / 100)
+	for i := 0; i < b.N; i++ {
+		bc := sim.Run(sim.RunConfig{
+			Collector: sim.BC, Program: prog, HeapBytes: heap, PhysBytes: phys,
+			Seed: 1, Pressure: sim.SteadyPressure(heap, 0.6),
+		})
+		gen := sim.Run(sim.RunConfig{
+			Collector: sim.GenMS, Program: prog, HeapBytes: heap, PhysBytes: phys,
+			Seed: 1, Pressure: sim.SteadyPressure(heap, 0.6),
+		})
+		b.ReportMetric(gen.ElapsedSecs/bc.ElapsedSecs, "throughput-x")
+		b.ReportMetric(float64(gen.Timeline.AvgPause())/float64(bc.Timeline.AvgPause()), "pause-x")
+	}
+}
+
+// BenchmarkAllocNoPressure measures raw allocation throughput of each
+// collector without memory pressure (the regime of §5.2).
+func BenchmarkAllocNoPressure(b *testing.B) {
+	for _, kind := range []bookmarkgc.CollectorKind{bookmarkgc.BC, bookmarkgc.GenMS, bookmarkgc.MarkSweep} {
+		b.Run(string(kind), func(b *testing.B) {
+			m := bookmarkgc.NewMachine(256 << 20)
+			rt := m.NewRuntime("bench", kind, 16<<20)
+			node := rt.DefineScalar("node", 4, 0, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Alloc(node)
+			}
+			b.ReportMetric(float64(rt.Stats().BytesAlloc)/float64(b.N), "B/obj")
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package bookmarkgc_test
+
+import (
+	"testing"
+
+	"bookmarkgc"
+)
+
+func TestRuntimeObjectAPI(t *testing.T) {
+	m := bookmarkgc.NewMachine(128 << 20)
+	rt := m.NewRuntime("t", bookmarkgc.BC, 8<<20)
+	node := rt.DefineScalar("node", 4, 0, 1)
+	arr := rt.DefineArray("arr", false)
+
+	head := rt.NewRoot(bookmarkgc.Nil)
+	for i := 0; i < 50_000; i++ {
+		n := rt.Alloc(node)
+		rt.WriteData(n, 2, uint64(i))
+		rt.WriteRef(n, 0, rt.Root(head))
+		rt.SetRoot(head, n)
+	}
+	// Garbage churn well beyond the heap size forces collections.
+	for i := 0; i < 300_000; i++ {
+		rt.Alloc(node)
+	}
+	big := rt.NewRoot(rt.AllocArray(arr, 2048))
+	rt.WriteData(rt.Root(big), 100, 9)
+	rt.Collect(true)
+
+	o := rt.Root(head)
+	for i := 49_999; i >= 49_990; i-- {
+		if got := rt.ReadData(o, 2); got != uint64(i) {
+			t.Fatalf("node %d = %d", i, got)
+		}
+		o = rt.ReadRef(o, 0)
+	}
+	if rt.ReadData(rt.Root(big), 100) != 9 {
+		t.Fatal("array corrupted")
+	}
+	if rt.Stats().Nursery == 0 {
+		t.Fatal("no nursery collections")
+	}
+	if rt.Timeline().Elapsed() <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if rt.HeapPages() <= 0 {
+		t.Fatal("no footprint")
+	}
+	rt.DropRoot(big)
+}
+
+func TestMachinePressureAPI(t *testing.T) {
+	m := bookmarkgc.NewMachine(64 << 20)
+	rt := m.NewRuntime("t", bookmarkgc.GenMS, 8<<20)
+	node := rt.DefineScalar("node", 4, 0, 1)
+	for i := 0; i < 30_000; i++ {
+		rt.Alloc(node)
+	}
+	free0 := m.FreeMemory()
+	m.PinMemory(free0 + 4<<20) // beyond free: forces eviction
+	if m.FreeMemory() >= free0 {
+		t.Fatal("pin did not reduce free memory")
+	}
+	for i := 0; i < 30_000; i++ {
+		rt.Alloc(node)
+	}
+	if rt.MajorFaults() == 0 && m.VMM().Stats().Evictions == 0 {
+		t.Fatal("pressure had no effect")
+	}
+	m.UnpinMemory(free0)
+	if m.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestProgramRunThroughFacade(t *testing.T) {
+	m := bookmarkgc.NewMachine(128 << 20)
+	rt := m.NewRuntime("t", bookmarkgc.BC, 8<<20)
+	prog := bookmarkgc.PseudoJBB().Scale(0.01)
+	run := rt.NewProgramRun(prog, 5)
+	res := run.RunToCompletion()
+	if res.AllocatedBytes < prog.TotalAlloc {
+		t.Fatal("program under-allocated")
+	}
+}
+
+func TestRunAndExperimentSurface(t *testing.T) {
+	if len(bookmarkgc.Programs()) != 9 {
+		t.Fatalf("suite size %d", len(bookmarkgc.Programs()))
+	}
+	if len(bookmarkgc.Experiments()) < 8 {
+		t.Fatal("experiments missing")
+	}
+	res := bookmarkgc.Run(bookmarkgc.RunConfig{
+		Collector: bookmarkgc.CopyMS,
+		Program:   bookmarkgc.PseudoJBB().Scale(0.01),
+		HeapBytes: 4 << 20,
+		PhysBytes: 64 << 20,
+		Seed:      1,
+	})
+	if res.ElapsedSecs <= 0 {
+		t.Fatal("run failed")
+	}
+	rs := bookmarkgc.RunMulti(bookmarkgc.MultiConfig{
+		Collector: bookmarkgc.BC,
+		Program:   bookmarkgc.PseudoJBB().Scale(0.005),
+		HeapBytes: 4 << 20,
+		PhysBytes: 64 << 20,
+		JVMs:      2,
+		Seed:      1,
+	})
+	if len(rs) != 2 {
+		t.Fatal("RunMulti wrong")
+	}
+	if p := bookmarkgc.SteadyPressure(10<<20, 0.5); p.InitialBytes != 5<<20 {
+		t.Fatal("SteadyPressure wrong")
+	}
+	if p := bookmarkgc.DynamicPressure(1 << 20); p.GrowBytes == 0 {
+		t.Fatal("DynamicPressure wrong")
+	}
+}

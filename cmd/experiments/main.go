@@ -1,0 +1,63 @@
+// Command experiments regenerates the tables and figures of "Garbage
+// Collection Without Paging" (PLDI 2005) on the simulated substrate.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-scale f] [-seed n] [-list]
+//
+// Experiment ids: table1, fig2, fig3, fig3x, fig4, fig5, fig6, fig7,
+// ablate; "all" runs everything. Scale 1.0 is paper scale (1 GB machine);
+// the default 0.25 preserves the shapes at a fraction of the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bookmarkgc/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 0.25, "workload/memory scale (1.0 = paper scale)")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	var selected []bench.Experiment
+	if *run == "all" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("bookmarking collection experiments (scale %.2f, seed %d)\n\n", *scale, *seed)
+	for _, e := range selected {
+		start := time.Now()
+		reports := e.Run(opts)
+		for i := range reports {
+			reports[i].Print(os.Stdout)
+		}
+		fmt.Printf("  [%s completed in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,108 @@
+// Command gcsim runs one benchmark program under one collector on the
+// simulated machine and prints its measurements — the building block the
+// experiment harness sweeps.
+//
+// Usage:
+//
+//	gcsim [-collector BC] [-program pseudojbb] [-heap 77] [-phys 256]
+//	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
+//
+// -steal f   pins f*heap immediately (steady pressure, Figure 3)
+// -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
+// -jvms n    runs n instances round-robin on one machine (Figure 7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+func main() {
+	// Impossible configurations (live data over the heap budget) panic
+	// with ErrOutOfMemory deep in the run; report them politely.
+	defer func() {
+		if r := recover(); r != nil {
+			if oom, ok := r.(gc.ErrOutOfMemory); ok {
+				fmt.Fprintf(os.Stderr, "gcsim: %v\ngcsim: the workload's live data does not fit this heap — raise -heap or -scale\n", oom)
+				os.Exit(1)
+			}
+			panic(r)
+		}
+	}()
+	var (
+		collector = flag.String("collector", "BC", "collector kind (BC, BCResizeOnly, GenMS, GenCopy, CopyMS, MarkSweep, SemiSpace, GenMSFixed, GenCopyFixed)")
+		program   = flag.String("program", "pseudojbb", "benchmark program (see Table 1)")
+		heapMB    = flag.Float64("heap", 77, "heap size in MB (paper scale)")
+		physMB    = flag.Float64("phys", 256, "physical memory in MB (paper scale)")
+		stealFrac = flag.Float64("steal", 0, "steady pressure: immediately pin this fraction of the heap")
+		availMB   = flag.Float64("avail", 0, "dynamic pressure: signalmem target available MB (0 = off)")
+		scale     = flag.Float64("scale", 0.25, "scale factor applied to all byte quantities")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		jvms      = flag.Int("jvms", 1, "number of simultaneous JVM instances")
+		bmu       = flag.Bool("bmu", false, "print the BMU curve")
+	)
+	flag.Parse()
+
+	prog, ok := mutator.ByName(*program)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gcsim: unknown program %q\n", *program)
+		os.Exit(2)
+	}
+	prog = prog.Scale(*scale)
+	heap := mem.RoundUpPage(uint64(*heapMB * *scale * (1 << 20)))
+	phys := mem.RoundUpPage(uint64(*physMB * *scale * (1 << 20)))
+
+	var pressure *sim.Pressure
+	switch {
+	case *stealFrac > 0:
+		pressure = sim.SteadyPressure(heap, *stealFrac)
+	case *availMB > 0:
+		pressure = sim.DynamicPressure(mem.RoundUpPage(uint64(*availMB * *scale * (1 << 20))))
+	}
+
+	if *jvms > 1 {
+		results := sim.RunMulti(sim.MultiConfig{
+			Collector: sim.CollectorKind(*collector),
+			Program:   prog, HeapBytes: heap, PhysBytes: phys,
+			JVMs: *jvms, Seed: *seed,
+		})
+		for i, r := range results {
+			fmt.Printf("jvm%d: %s\n", i, summary(r))
+		}
+		return
+	}
+
+	r := sim.Run(sim.RunConfig{
+		Collector: sim.CollectorKind(*collector),
+		Program:   prog, HeapBytes: heap, PhysBytes: phys,
+		Pressure: pressure, Seed: *seed,
+	})
+	fmt.Println(summary(r))
+	if *bmu {
+		total := r.Timeline.Elapsed()
+		fmt.Println("BMU curve (window -> utilization):")
+		for _, pt := range r.Timeline.BMUCurve(total/1000, total, 12) {
+			fmt.Printf("  %8.4fs  %.3f\n", pt[0], pt[1])
+		}
+	}
+}
+
+func summary(r sim.Result) string {
+	st := r.GCStats
+	return fmt.Sprintf(
+		"%s/%s: exec=%.3fs alloc=%dB gcs=%d (nursery=%d full=%d compact=%d failsafe=%d) avgPause=%v maxPause=%v majflt=%d bookmarked=%d evictedPages=%d",
+		r.Config.Collector, r.Config.Program.Name,
+		r.ElapsedSecs, r.Mutator.AllocatedBytes,
+		r.Timeline.Count(), st.Nursery, st.Full, st.Compactions, st.FailSafe,
+		round(r.Timeline.AvgPause()), round(r.Timeline.MaxPause()),
+		r.ProcStats.MajorFaults, st.Bookmarked, st.PagesEvicted)
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

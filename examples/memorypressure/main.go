@@ -1,0 +1,61 @@
+// Memorypressure reproduces the paper's central scenario (§5.3.2) as a
+// standalone program: pseudoJBB running while another process pins away
+// memory. It runs the same workload under the bookmarking collector and
+// under GenMS (the strongest VM-oblivious baseline) and prints the
+// comparison the paper's Figures 4 and 5 are built from.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc"
+)
+
+func main() {
+	scale := 0.1
+	var (
+		heap  = uint64(77 * scale * (1 << 20))
+		phys  = uint64(256 * scale * (1 << 20))
+		avail = uint64(55 * scale * (1 << 20)) // severe: below the heap, above the live set
+	)
+	prog := bookmarkgc.PseudoJBB().Scale(scale)
+
+	fmt.Println("pseudoJBB under dynamic memory pressure (signalmem pins to",
+		avail>>20, "MB available)")
+	fmt.Println()
+
+	for _, kind := range []bookmarkgc.CollectorKind{bookmarkgc.BC, bookmarkgc.GenMS} {
+		res := bookmarkgc.Run(bookmarkgc.RunConfig{
+			Collector: kind,
+			Program:   prog,
+			HeapBytes: heap,
+			PhysBytes: phys,
+			// The §5.3.2 schedule with every quantity scaled: an initial
+			// grab, then steady growth until only `avail` remains.
+			Pressure: &bookmarkgc.Pressure{
+				InitialBytes:     uint64(30 * scale * (1 << 20)),
+				GrowBytes:        uint64(1 * scale * (1 << 20)),
+				GrowEvery:        200 * time.Microsecond,
+				TargetAvailBytes: avail,
+			},
+			Seed: 1,
+		})
+		var gcFaults uint64
+		for _, p := range res.Timeline.Pauses {
+			gcFaults += p.MajorFaults
+		}
+		fmt.Printf("%-6s exec=%8.3fs  pauses: n=%-4d avg=%-10v max=%-10v  majflt=%-6d (in GC: %d)\n",
+			kind, res.ElapsedSecs,
+			res.Timeline.Count(), res.Timeline.AvgPause(), res.Timeline.MaxPause(),
+			res.ProcStats.MajorFaults, gcFaults)
+		if kind == bookmarkgc.BC {
+			fmt.Printf("       bookmarking: %d pages processed for eviction, %d objects bookmarked, %d fail-safe collections\n",
+				res.GCStats.PagesEvicted, res.GCStats.Bookmarked, res.GCStats.FailSafe)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The bookmarking collector keeps collecting in memory (near-zero")
+	fmt.Println("major faults during GC pauses); GenMS's full-heap collections")
+	fmt.Println("touch evicted pages and its pauses stretch by orders of magnitude.")
+}

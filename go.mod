@@ -1,0 +1,3 @@
+module bookmarkgc
+
+go 1.22

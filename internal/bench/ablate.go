@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// Ablations measures the BC design choices DESIGN.md calls out, under the
+// Figure 5 dynamic-pressure scenario at a moderately severe setting:
+//
+//   - bookmarking itself (BC vs. the resize-only variant, §5.3.2);
+//   - aggressive word-at-a-time empty-page discard (§3.4.3);
+//   - the pointer-free victim-selection extension (§7);
+//   - heap regrowth after transient pressure (§7);
+//   - GenMS with an Alonso–Appel heap-sizing advisor (related work, §6):
+//     resizing without cooperation, which the paper argues cannot
+//     eliminate paging.
+func Ablations(o Options) []Report {
+	kinds := []sim.CollectorKind{
+		sim.BC, sim.BCResizeOnly, sim.BCNoAggressive, sim.BCPointerFree, sim.BCRegrow,
+		sim.GenMS, sim.GenMSAdvisor,
+	}
+	r := Report{
+		ID:     "ablate",
+		Title:  "BC variants under dynamic pressure (available = 70% of heap)",
+		Header: []string{"variant", "exec time", "mean pause", "GC major faults", "pages bookmarked", "notifications"},
+	}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	base := fig45Baseline(o, prog, heap)
+	for _, k := range kinds {
+		res, ok := dynamicRun(o, k, prog, heap, uint64(0.70*float64(heap)), base)
+		if !ok {
+			r.Rows = append(r.Rows, []string{string(k), "-", "-", "-", "-", "-"})
+			continue
+		}
+		var gcFaults uint64
+		for _, p := range res.Timeline.Pauses {
+			gcFaults += p.MajorFaults
+		}
+		r.Rows = append(r.Rows, []string{
+			string(k),
+			secs(res.ElapsedSecs),
+			ms(res.Timeline.AvgPause()),
+			fmt.Sprintf("%d", gcFaults),
+			fmt.Sprintf("%d", res.GCStats.PagesEvicted),
+			fmt.Sprintf("%d", res.ProcStats.ProtFaults+res.ProcStats.MajorFaults),
+		})
+	}
+	return []Report{r}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
+
+// tiny options keep each experiment to a few seconds.
+func tiny() Options { return Options{Scale: 0.02, Seed: 1} }
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if got, ok := ByID(e.ID); !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%s) failed", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablate"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID invented an experiment")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	r := Report{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"a", "bbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a    bbb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// checkReports validates the common shape invariants of an experiment's
+// output.
+func checkReports(t *testing.T, rs []Report, wantRows int) {
+	t.Helper()
+	if len(rs) == 0 {
+		t.Fatal("no reports")
+	}
+	for _, r := range rs {
+		if len(r.Rows) < wantRows {
+			t.Fatalf("%s: %d rows, want >= %d", r.ID, len(r.Rows), wantRows)
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Header) {
+				t.Fatalf("%s: ragged row %v vs header %v", r.ID, row, r.Header)
+			}
+			for _, cell := range row {
+				if cell == "" {
+					t.Fatalf("%s: empty cell in %v", r.ID, row)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4Tiny(t *testing.T) {
+	rs := Fig4(tiny())
+	checkReports(t, rs, 5)
+}
+
+func TestFig7Tiny(t *testing.T) {
+	rs := Fig7(tiny())
+	checkReports(t, rs, 5)
+	if rs[0].ID != "fig7a" || rs[1].ID != "fig7b" {
+		t.Fatal("fig7 report ids wrong")
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	rs := Ablations(tiny())
+	checkReports(t, rs, 5)
+}
+
+func TestFig6Tiny(t *testing.T) {
+	rs := Fig6(tiny())
+	checkReports(t, rs, 7)
+	// BMU cells must be parseable fractions in [0,1] or "-".
+	for _, r := range rs {
+		for _, row := range r.Rows {
+			for _, cell := range row[1:] {
+				if cell == "-" {
+					continue
+				}
+				var f float64
+				if _, err := fmtSscan(cell, &f); err != nil || f < 0 || f > 1 {
+					t.Fatalf("%s: bad BMU cell %q", r.ID, cell)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// fig2Factors are the relative heap sizes swept (paper x-axis: 1–3.25x
+// the per-benchmark minimum heap).
+var fig2Factors = []float64{1.25, 1.5, 2.0, 2.5, 3.0}
+
+// fig2Collectors in presentation order.
+var fig2Collectors = []sim.CollectorKind{
+	sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.MarkSweep, sim.SemiSpace,
+}
+
+// Fig2 reproduces Figure 2: geometric mean of execution time relative to
+// BC across all benchmarks, without memory pressure, as a function of
+// relative heap size. The paper's shape: BC and GenMS effectively tied at
+// large heaps (BC ~0.3% faster), BC ahead at small heaps thanks to
+// compaction, GenCopy ~7% behind, MarkSweep ~20% and CopyMS ~29% behind
+// at the largest heap.
+func Fig2(o Options) []Report {
+	r := Report{
+		ID:     "fig2",
+		Title:  "geometric mean execution time relative to BC (no memory pressure)",
+		Header: append([]string{"collector"}, factorLabels(fig2Factors)...),
+		Notes: []string{
+			"cells: geomean over all benchmarks of time(collector)/time(BC); '-' = does not complete",
+		},
+	}
+	// exec[collector][factor] = per-benchmark times.
+	type cell struct{ rel []float64 }
+	table := map[sim.CollectorKind]map[float64]*cell{}
+	for _, k := range fig2Collectors {
+		table[k] = map[float64]*cell{}
+		for _, f := range fig2Factors {
+			table[k][f] = &cell{}
+		}
+	}
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		for _, f := range fig2Factors {
+			heap := mem.RoundUpPage(uint64(f * float64(scaled.MinHeap)))
+			phys := heap*4 + (64 << 20) // ample: no pressure
+			bc, ok := runOK(sim.RunConfig{
+				Collector: sim.BC, Program: scaled,
+				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
+			})
+			if !ok {
+				continue
+			}
+			for _, k := range fig2Collectors {
+				if k == sim.BC {
+					table[k][f].rel = append(table[k][f].rel, 1)
+					continue
+				}
+				res, ok := runOK(sim.RunConfig{
+					Collector: k, Program: scaled,
+					HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
+				})
+				if !ok {
+					continue
+				}
+				table[k][f].rel = append(table[k][f].rel, res.ElapsedSecs/bc.ElapsedSecs)
+			}
+		}
+	}
+	for _, k := range fig2Collectors {
+		row := []string{string(k)}
+		for _, f := range fig2Factors {
+			c := table[k][f]
+			if len(c.rel) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			suffix := ""
+			if len(c.rel) < len(mutator.Programs) {
+				suffix = fmt.Sprintf(" (%d/%d)", len(c.rel), len(mutator.Programs))
+			}
+			row = append(row, fmt.Sprintf("%.3f%s", metrics.Geomean(c.rel), suffix))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return []Report{r}
+}
+
+func factorLabels(fs []float64) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprintf("%.2fx", f)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// Fig2Detail breaks Figure 2's geometric mean apart: per-benchmark
+// execution time relative to BC at a fixed 2x relative heap, without
+// memory pressure. The paper aggregates; this view shows where each
+// baseline's costs come from (useful when tuning the workload models).
+func Fig2Detail(o Options) []Report {
+	const factor = 2.0
+	r := Report{
+		ID:    "fig2x",
+		Title: fmt.Sprintf("per-benchmark execution time relative to BC at %.1fx min heap, no pressure", factor),
+		Notes: []string{"cells: time(collector)/time(BC); '-' = does not complete"},
+	}
+	r.Header = []string{"benchmark"}
+	for _, k := range fig2Collectors {
+		r.Header = append(r.Header, string(k))
+	}
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		heap := mem.RoundUpPage(uint64(factor * float64(scaled.MinHeap)))
+		phys := heap*4 + (64 << 20)
+		row := []string{prog.Name}
+		var bcTime float64
+		for _, k := range fig2Collectors {
+			res, ok := runOK(sim.RunConfig{
+				Collector: k, Program: scaled,
+				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
+			})
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			if k == sim.BC {
+				bcTime = res.ElapsedSecs
+				row = append(row, "1.000")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", res.ElapsedSecs/bcTime))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return []Report{r}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// fig45Heap is the pseudoJBB heap for the dynamic-pressure experiments
+// (the paper uses 77 MB).
+const fig45HeapMB = 77.0
+
+// fig45Avail is the swept available-memory axis as fractions of the heap
+// (the paper sweeps absolute MB; pressure begins once available memory
+// falls below the process footprint, i.e. fractions near and below 1).
+var fig45Avail = []float64{1.6, 1.4, 1.2, 1.0, 0.85, 0.70, 0.55}
+
+// dynamicRun executes one collector under the §5.3.2 dynamic-pressure
+// schedule: signalmem grabs an initial chunk, then pins more at a steady
+// rate until only avail bytes of the machine remain. The pin rate is
+// scaled so the ramp completes within roughly the first third of an
+// unpressured run, as in the paper's measured iterations.
+func dynamicRun(o Options, k sim.CollectorKind, prog mutator.Spec, heap, avail uint64, baseline time.Duration) (sim.Result, bool) {
+	phys := heap * 2
+	initial := o.bytes(30 << 20)
+	if initial >= phys-avail {
+		initial = (phys - avail) / 2
+	}
+	steps := (phys - avail - initial) / o.bytes(1<<20)
+	if steps == 0 {
+		steps = 1
+	}
+	every := baseline / 3 / time.Duration(steps)
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	return runOK(sim.RunConfig{
+		Collector: k,
+		Program:   prog,
+		HeapBytes: heap,
+		PhysBytes: phys,
+		Seed:      o.Seed,
+		Pressure: &sim.Pressure{
+			InitialBytes:     initial,
+			GrowBytes:        o.bytes(1 << 20),
+			GrowEvery:        every,
+			TargetAvailBytes: avail,
+		},
+	})
+}
+
+// fig45Baseline measures an unpressured BC run to calibrate the ramp.
+func fig45Baseline(o Options, prog mutator.Spec, heap uint64) time.Duration {
+	res := sim.Run(sim.RunConfig{
+		Collector: sim.BC, Program: prog,
+		HeapBytes: heap, PhysBytes: heap * 4, Seed: o.Seed,
+	})
+	return time.Duration(res.ElapsedSecs * float64(time.Second))
+}
+
+// Fig4 reproduces Figure 4: mean GC pause time for pseudoJBB as dynamic
+// memory pressure increases (available memory shrinks, left to right).
+// Paper shape: BC's mean pause stays flat while the others' grow to
+// seconds — GenMS's mean pause under the most pressure is ~10 s longer
+// than its whole unpressured run.
+func Fig4(o Options) []Report {
+	kinds := []sim.CollectorKind{sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace}
+	r := Report{
+		ID:     "fig4",
+		Title:  "dynamic pressure: mean GC pause, pseudoJBB (available memory shrinks left to right)",
+		Header: append([]string{"collector"}, availLabels(o)...),
+	}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	base := fig45Baseline(o, prog, heap)
+	for _, k := range kinds {
+		row := []string{string(k)}
+		for _, frac := range fig45Avail {
+			res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, ms(res.Timeline.AvgPause()))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return []Report{r}
+}
+
+// Fig5 reproduces Figure 5: execution time under the same dynamic
+// pressure. (a) the main collectors plus the resize-only BC variant —
+// paper: BC up to 4x faster than the next best, 41x faster than GenMS,
+// and up to 10x faster than resize-only; (b) fixed-size (4 MB) nursery
+// variants, which reduce paging but still collapse once their footprint
+// exceeds available memory.
+func Fig5(o Options) []Report {
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	base := fig45Baseline(o, prog, heap)
+
+	mk := func(id, title string, kinds []sim.CollectorKind) Report {
+		r := Report{
+			ID:     id,
+			Title:  title,
+			Header: append([]string{"collector"}, availLabels(o)...),
+		}
+		for _, k := range kinds {
+			row := []string{string(k)}
+			for _, frac := range fig45Avail {
+				res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, secs(res.ElapsedSecs))
+			}
+			r.Rows = append(r.Rows, row)
+		}
+		return r
+	}
+	a := mk("fig5a", "dynamic pressure: execution time, pseudoJBB",
+		[]sim.CollectorKind{sim.BC, sim.BCResizeOnly, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace})
+	b := mk("fig5b", "dynamic pressure: execution time, fixed-size (4MB) nurseries",
+		[]sim.CollectorKind{sim.BC, sim.GenMSFixed, sim.GenCopyFixed})
+	return []Report{a, b}
+}
+
+func availLabels(o Options) []string {
+	out := make([]string, len(fig45Avail))
+	for i, f := range fig45Avail {
+		out[i] = fmt.Sprintf("%.0fMB", f*fig45HeapMB)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// fig6Windows are the BMU window sizes reported, as multiples of the
+// unpressured baseline run time. The paper plots absolute windows (up to
+// ~10 minutes); anchoring to the baseline duration gives every collector
+// the same absolute windows while staying scale-independent.
+var fig6Windows = []float64{0.3, 1, 3, 10, 30, 100, 300}
+
+// Fig6 reproduces Figure 6: bounded mutator utilization under dynamic
+// pressure, at a moderate and a severe available-memory level (the paper
+// uses 143 MB and 93 MB against a ~130 MB footprint). Paper shape: under
+// moderate pressure BC and MarkSweep do well; under severe pressure only
+// BC achieves high utilization (~0.9 at a 10-second window) while every
+// other collector is near zero there, and MarkSweep needs ~10-minute
+// windows for 0.25 utilization.
+func Fig6(o Options) []Report {
+	kinds := []sim.CollectorKind{
+		sim.BC, sim.BCResizeOnly, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace, sim.MarkSweep,
+	}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	base := fig45Baseline(o, prog, heap)
+
+	mk := func(id string, frac float64, label string) Report {
+		r := Report{
+			ID:     id,
+			Title:  fmt.Sprintf("BMU curves, %s pressure (available = %.0f%% of heap)", label, frac*100),
+			Header: append([]string{"collector"}, windowLabels()...),
+			Notes:  []string{"cells: BMU at windows of w times the unpressured run time T"},
+		}
+		for _, k := range kinds {
+			row := []string{string(k)}
+			res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
+			if !ok {
+				for range fig6Windows {
+					row = append(row, "-")
+				}
+				r.Rows = append(r.Rows, row)
+				continue
+			}
+			for _, wf := range fig6Windows {
+				w := time.Duration(wf * float64(base))
+				row = append(row, fmt.Sprintf("%.3f", res.Timeline.BMU(w)))
+			}
+			r.Rows = append(r.Rows, row)
+		}
+		return r
+	}
+	return []Report{
+		mk("fig6a", 1.30, "moderate"),
+		mk("fig6b", 0.90, "severe"),
+	}
+}
+
+func windowLabels() []string {
+	out := make([]string, len(fig6Windows))
+	for i, w := range fig6Windows {
+		out[i] = fmt.Sprintf("w=%gxT", w)
+	}
+	return out
+}
+
+// fig7Avail sweeps total machine memory as fractions of the two JVMs'
+// combined heaps.
+var fig7Avail = []float64{1.3, 1.1, 0.9, 0.7, 0.55}
+
+// Fig7 reproduces Figure 7: two JVM instances running pseudoJBB
+// simultaneously with 77 MB heaps, sweeping available memory. (a) total
+// elapsed time — misleading for the VM-oblivious collectors, whose runs
+// paging effectively serializes — and (b) mean GC pause, where BC's
+// ~380 ms at the lowest memory is ~7.5x below CopyMS, the next best.
+func Fig7(o Options) []Report {
+	kinds := []sim.CollectorKind{sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace}
+	exec := Report{
+		ID:     "fig7a",
+		Title:  "two JVMs: total elapsed time, pseudoJBB x2, 77MB heaps",
+		Header: append([]string{"collector"}, fig7Labels()...),
+	}
+	pause := Report{
+		ID:     "fig7b",
+		Title:  "two JVMs: mean GC pause across both instances",
+		Header: append([]string{"collector"}, fig7Labels()...),
+	}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	for _, k := range kinds {
+		execRow := []string{string(k)}
+		pauseRow := []string{string(k)}
+		for _, frac := range fig7Avail {
+			phys := uint64(frac * float64(2*heap))
+			rs, ok := runMultiOK(sim.MultiConfig{
+				Collector: k,
+				Program:   prog,
+				HeapBytes: heap,
+				PhysBytes: phys,
+				JVMs:      2,
+				Seed:      o.Seed,
+			})
+			if !ok {
+				execRow = append(execRow, "-")
+				pauseRow = append(pauseRow, "-")
+				continue
+			}
+			var end float64
+			var pauses []metrics.Pause
+			for _, r := range rs {
+				if r.ElapsedSecs > end {
+					end = r.ElapsedSecs
+				}
+				pauses = append(pauses, r.Timeline.Pauses...)
+			}
+			var sum time.Duration
+			for _, p := range pauses {
+				sum += p.Dur
+			}
+			avg := time.Duration(0)
+			if len(pauses) > 0 {
+				avg = sum / time.Duration(len(pauses))
+			}
+			execRow = append(execRow, secs(end))
+			pauseRow = append(pauseRow, ms(avg))
+		}
+		exec.Rows = append(exec.Rows, execRow)
+		pause.Rows = append(pause.Rows, pauseRow)
+	}
+	return []Report{exec, pause}
+}
+
+func fig7Labels() []string {
+	out := make([]string, len(fig7Avail))
+	for i, f := range fig7Avail {
+		out[i] = fmt.Sprintf("%.0fMB", f*2*fig45HeapMB)
+	}
+	return out
+}
+
+// runMultiOK wraps sim.RunMulti with OOM recovery.
+func runMultiOK(cfg sim.MultiConfig) (rs []sim.Result, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, oom := r.(gc.ErrOutOfMemory); oom {
+				rs, ok = nil, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return sim.RunMulti(cfg), true
+}

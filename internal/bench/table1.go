@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+)
+
+// Table1 reproduces the paper's Table 1: per benchmark, total bytes
+// allocated and minimum heap. The workload generators are parameterized
+// by the paper's numbers, so the "paper" columns are their targets; the
+// measured columns come from actually running each program — allocation
+// volume from a generous-heap run, minimum heap from a shrinking search
+// with the bookmarking collector.
+func Table1(o Options) []Report {
+	r := Report{
+		ID:    "table1",
+		Title: "memory usage statistics for the benchmark suite",
+		Header: []string{"benchmark", "paper alloc", "measured alloc",
+			"paper min heap", "measured min heap (BC)"},
+		Notes: []string{
+			fmt.Sprintf("measured at scale %.2f, columns rescaled to paper scale", o.Scale),
+			"min heap probed at factors of the paper value (coarse search)",
+		},
+	}
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		// Measured allocation volume: one run with plenty of room.
+		res := sim.Run(sim.RunConfig{
+			Collector: sim.GenMS,
+			Program:   scaled,
+			HeapBytes: scaled.MinHeap * 4,
+			PhysBytes: scaled.MinHeap*8 + (64 << 20),
+			Seed:      o.Seed,
+		})
+		measuredAlloc := float64(res.Mutator.AllocatedBytes) / o.Scale
+
+		minHeap := findMinHeap(o, scaled)
+		r.Rows = append(r.Rows, []string{
+			prog.Name,
+			fmt.Sprintf("%d", prog.TotalAlloc),
+			fmt.Sprintf("%.0f", measuredAlloc),
+			fmt.Sprintf("%d", prog.MinHeap),
+			fmt.Sprintf("%.0f", float64(minHeap)/o.Scale),
+		})
+	}
+	return []Report{r}
+}
+
+// findMinHeap probes heap sizes at fixed factors of the paper's minimum
+// and returns the smallest (scaled) heap at which BC completes.
+func findMinHeap(o Options, prog mutator.Spec) uint64 {
+	factors := []float64{0.4, 0.5, 0.625, 0.75, 1.0, 1.5, 2.0}
+	for _, f := range factors {
+		heap := mem.RoundUpPage(uint64(f * float64(prog.MinHeap)))
+		if _, ok := runOK(sim.RunConfig{
+			Collector: sim.BC,
+			Program:   prog,
+			HeapBytes: heap,
+			PhysBytes: heap*4 + (64 << 20),
+			Seed:      o.Seed,
+		}); ok {
+			return heap
+		}
+	}
+	return prog.MinHeap * 2
+}

@@ -1,0 +1,63 @@
+package collectors
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/objmodel"
+)
+
+// AdvisedGenMS is GenMS with an Alonso–Appel-style heap-sizing advisor
+// (related work, §6 of the paper): after every collection it consults the
+// VM for available memory and resizes its heap budget accordingly. The
+// paper's point — reproduced by the ablation experiment — is that
+// resizing alone cannot eliminate collector-induced paging: the advisor
+// only reacts after a full collection has already touched whatever was
+// evicted, and it never returns specific pages to the kernel.
+type AdvisedGenMS struct {
+	*GenMS
+	maxPages int
+}
+
+var _ gc.Collector = (*AdvisedGenMS)(nil)
+
+// NewAdvisedGenMS creates the advised variant; the configured heap is its
+// upper bound.
+func NewAdvisedGenMS(env *gc.Env) *AdvisedGenMS {
+	return &AdvisedGenMS{GenMS: NewGenMS(env), maxPages: env.HeapPages}
+}
+
+// Name implements gc.Collector.
+func (c *AdvisedGenMS) Name() string { return "GenMSAdvisor" }
+
+// Alloc implements gc.Collector. Embedding does not virtualize method
+// calls, so the advisor hooks the allocation path: whenever the embedded
+// collector performed a collection, consult the advisor afterwards (the
+// original polls "after each garbage collection").
+func (c *AdvisedGenMS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	before := c.Stats().Timeline.Count()
+	o := c.GenMS.Alloc(t, arrayLen)
+	if c.Stats().Timeline.Count() != before {
+		c.advise()
+	}
+	return o
+}
+
+// Collect implements gc.Collector: collect, then consult the advisor.
+func (c *AdvisedGenMS) Collect(full bool) {
+	c.GenMS.Collect(full)
+	c.advise()
+}
+
+// advise resizes the heap budget to current usage plus a share of the
+// machine's free memory.
+func (c *AdvisedGenMS) advise() {
+	free := c.E.Proc.FreeFramesHint()
+	target := c.MatureUsedPages() + free*3/4
+	if floor := c.MatureUsedPages() + 2*gc.MinNurseryPages; target < floor {
+		target = floor
+	}
+	if target > c.maxPages {
+		target = c.maxPages
+	}
+	c.E.HeapPages = target
+	c.resizeNursery()
+}

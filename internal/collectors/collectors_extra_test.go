@@ -1,0 +1,170 @@
+package collectors
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/vmm"
+)
+
+func TestFixedNurseryBoundsNurserySize(t *testing.T) {
+	env := newEnv(t, 32)
+	node, _, _ := declareTypes(env)
+	c := NewGenMS(env)
+	c.FixedNurseryPages = 128 // 512 KB
+	c.resizeNursery()
+	if got := c.nursery.Budget(); got > 128*mem.PageSize {
+		t.Fatalf("nursery budget %d exceeds fixed size", got)
+	}
+	// More frequent nursery GCs than the variable-nursery collector.
+	for i := 0; i < 200000; i++ {
+		c.Alloc(node, 0)
+	}
+	fixedGCs := c.Stats().Nursery
+
+	env2 := newEnv(t, 32)
+	node2, _, _ := declareTypes(env2)
+	v := NewGenMS(env2)
+	for i := 0; i < 200000; i++ {
+		v.Alloc(node2, 0)
+	}
+	if fixedGCs <= v.Stats().Nursery {
+		t.Fatalf("fixed nursery (%d GCs) not more frequent than variable (%d)",
+			fixedGCs, v.Stats().Nursery)
+	}
+}
+
+func TestSemiSpaceCopyReserveOOM(t *testing.T) {
+	// SemiSpace can only use half the heap: live data over that must OOM
+	// even though it would fit a mark-sweep heap.
+	env := newEnv(t, 4)
+	node, _, _ := declareTypes(env)
+	c := NewSemiSpace(env)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected OOM")
+		} else if _, ok := r.(gc.ErrOutOfMemory); !ok {
+			panic(r)
+		}
+	}()
+	head := c.Roots().Add(c.Alloc(node, 0))
+	// > 2 MB of live data in a 4 MB heap: fits GenMS, not SemiSpace.
+	for i := 0; i < 50000; i++ {
+		o := c.Alloc(node, 0)
+		c.WriteRef(o, 0, c.Roots().Get(head))
+		c.Roots().Set(head, o)
+	}
+}
+
+func TestGenMSSurvivesLiveDataSemiSpaceCannot(t *testing.T) {
+	env := newEnv(t, 4)
+	node, _, _ := declareTypes(env)
+	c := NewGenMS(env)
+	head := c.Roots().Add(c.Alloc(node, 0))
+	for i := 0; i < 50000; i++ { // ~2.4 MB live in a 4 MB heap
+		o := c.Alloc(node, 0)
+		c.WriteRef(o, 0, c.Roots().Get(head))
+		c.Roots().Set(head, o)
+	}
+	n := 0
+	for o := c.Roots().Get(head); o != mem.Nil; o = c.ReadRef(o, 0) {
+		n++
+	}
+	if n != 50001 {
+		t.Fatalf("list length %d", n)
+	}
+}
+
+func TestWriteBarrierOnlyRecordsOldToYoung(t *testing.T) {
+	env := newEnv(t, 16)
+	node, _, _ := declareTypes(env)
+	c := NewGenMS(env)
+	old := c.Roots().Add(c.Alloc(node, 0))
+	c.Collect(true) // promote
+	young := c.Roots().Add(c.Alloc(node, 0))
+
+	// young -> old: no record needed.
+	c.WriteRef(c.Roots().Get(young), 0, c.Roots().Get(old))
+	if got := c.remset.Size(); got != 0 {
+		t.Fatalf("young->old store recorded (%d entries)", got)
+	}
+	// old -> young: recorded.
+	c.WriteRef(c.Roots().Get(old), 0, c.Roots().Get(young))
+	if got := c.remset.Size(); got != 1 {
+		t.Fatalf("old->young store not recorded (%d entries)", got)
+	}
+	// old -> nil: not recorded.
+	c.WriteRef(c.Roots().Get(old), 1, mem.Nil)
+	if got := c.remset.Size(); got != 1 {
+		t.Fatalf("nil store recorded (%d entries)", got)
+	}
+}
+
+func TestCollectionKindsRecorded(t *testing.T) {
+	env := newEnv(t, 8)
+	node, _, _ := declareTypes(env)
+	c := NewGenMS(env)
+	for i := 0; i < 400000; i++ {
+		c.Alloc(node, 0)
+	}
+	c.Collect(true)
+	tl := &c.Stats().Timeline
+	if tl.Count(metrics.PauseNursery) == 0 {
+		t.Fatal("no nursery pauses recorded")
+	}
+	if tl.Count(metrics.PauseFull) == 0 {
+		t.Fatal("no full pauses recorded")
+	}
+	if tl.Count(metrics.PauseNursery)+tl.Count(metrics.PauseFull) != tl.Count() {
+		t.Fatal("pause kinds do not partition")
+	}
+}
+
+func TestCollectorsShareNoState(t *testing.T) {
+	// Two collectors on two envs over the same machine must not interfere.
+	env1 := newEnv(t, 8)
+	node1, _, _ := declareTypes(env1)
+	c1 := NewGenMS(env1)
+	env2 := newEnv(t, 8)
+	node2, _, _ := declareTypes(env2)
+	c2 := NewMarkSweep(env2)
+
+	a := c1.Roots().Add(c1.Alloc(node1, 0))
+	b := c2.Roots().Add(c2.Alloc(node2, 0))
+	c1.WriteData(c1.Roots().Get(a), 2, 1)
+	c2.WriteData(c2.Roots().Get(b), 2, 2)
+	c1.Collect(true)
+	c2.Collect(true)
+	if c1.ReadData(c1.Roots().Get(a), 2) != 1 || c2.ReadData(c2.Roots().Get(b), 2) != 2 {
+		t.Fatal("cross-collector interference")
+	}
+}
+
+func TestAdvisedGenMSShrinksHeapUnderPressure(t *testing.T) {
+	// The Alonso–Appel advisor variant must adapt its heap budget to
+	// available memory and still complete correctly.
+	clock := vmm.NewClock()
+	v := vmm.New(clock, 24<<20, vmm.DefaultCosts())
+	env := gc.NewEnv(v, "advisor", 16<<20)
+	node := env.Types.Scalar("node", 4, 0, 1)
+	c := NewAdvisedGenMS(env)
+	if c.Name() != "GenMSAdvisor" {
+		t.Fatal("wrong name")
+	}
+	head := c.Roots().Add(c.Alloc(node, 0))
+	c.WriteData(c.Roots().Get(head), 2, 7)
+	before := env.HeapPages
+	// Pin most of the machine, then churn: the advisor must shrink.
+	v.Pin(v.FreeFrames() - 512)
+	for i := 0; i < 800000; i++ {
+		c.Alloc(node, 0)
+	}
+	if env.HeapPages >= before {
+		t.Fatalf("advisor never shrank the heap: %d -> %d", before, env.HeapPages)
+	}
+	if got := c.ReadData(c.Roots().Get(head), 2); got != 7 {
+		t.Fatalf("data corrupted: %d", got)
+	}
+}

@@ -1,0 +1,131 @@
+package collectors
+
+import (
+	"math"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// CopyMS allocates with a bump pointer and performs only whole-heap
+// collections that copy the bump space's survivors into a mark-sweep
+// mature space (the paper describes it as "a variant of GenMS which
+// performs only whole heap garbage collections"). It needs no write
+// barrier. Its mark-sweep mature space gives better heap utilization
+// than SemiSpace, which delays — but does not prevent — paging (§5.3.2).
+type CopyMS struct {
+	gc.Base
+	gc.Mature
+	eden *heap.BumpSpace
+}
+
+var _ gc.Collector = (*CopyMS)(nil)
+
+// NewCopyMS creates a CopyMS collector on env.
+func NewCopyMS(env *gc.Env) *CopyMS {
+	c := &CopyMS{
+		Base: gc.Base{E: env},
+		eden: heap.NewBumpSpace(env.Space, env.Layout.Bump0Base, env.Layout.Bump0End),
+	}
+	c.Mature = gc.NewMature(env)
+	c.resizeEden()
+	return c
+}
+
+// Name implements gc.Collector.
+func (c *CopyMS) Name() string { return "CopyMS" }
+
+// UsedPages implements gc.Collector.
+func (c *CopyMS) UsedPages() int { return c.MatureUsedPages() + c.eden.UsedPages() }
+
+func (c *CopyMS) resizeEden() {
+	free := c.E.HeapPages - c.MatureUsedPages()
+	if free < gc.MinNurseryPages {
+		free = gc.MinNurseryPages
+	}
+	c.eden.SetBudget(uint64(free) * mem.PageSize)
+}
+
+// Alloc implements gc.Collector.
+func (c *CopyMS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	_, small := c.E.Classes.ForSize(total)
+	for attempt := 0; ; attempt++ {
+		var o objmodel.Ref
+		if small {
+			o = c.eden.Alloc(t, arrayLen)
+		} else {
+			o = c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, c.eden.UsedPages())
+		}
+		if o != mem.Nil {
+			c.CountAlloc(t, arrayLen)
+			return o
+		}
+		if attempt == 2 {
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+		c.Collect(true)
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *CopyMS) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector (no barrier: every GC is full-heap).
+func (c *CopyMS) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRefRaw(o, i, v) }
+
+// Collect implements gc.Collector: a whole-heap collection that copies
+// eden survivors into the mature space and mark-sweeps the rest.
+func (c *CopyMS) Collect(bool) {
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	forward := func(o objmodel.Ref) objmodel.Ref {
+		if !c.eden.Contains(o) {
+			gc.MarkStep(c.E, &work, o, epoch)
+			return o
+		}
+		if objmodel.Forwarded(c.E.Space, o) {
+			return objmodel.ForwardAddr(c.E.Space, o)
+		}
+		t, n := c.E.Types.TypeOf(c.E.Space, o)
+		dst := c.AllocMature(c.E, t, n, math.MaxInt, 0)
+		if dst == mem.Nil {
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+		size := int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+		gc.CopyObject(c.E.Space, o, dst, size)
+		objmodel.Forward(c.E.Space, o, dst)
+		objmodel.SetMark(c.E.Space, dst, epoch)
+		work.Push(dst)
+		return dst
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = forward(*slot)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := forward(tgt); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	c.SS.Sweep(epoch)
+	c.LOS.Sweep(epoch, nil)
+	c.eden.Reset()
+	if c.MatureUsedPages() > c.E.HeapPages {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	c.resizeEden()
+}

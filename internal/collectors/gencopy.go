@@ -1,0 +1,226 @@
+package collectors
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// GenCopy is the Appel-style generational collector with a bump-pointer
+// nursery and a copying (semispace) mature space. Nursery survivors are
+// copied into the active mature semispace; full collections flip the
+// mature semispaces. Half the mature space is copy reserve, so GenCopy
+// runs out of room sooner than GenMS in small heaps (§5.2). With
+// FixedNurseryPages set it becomes the fixed-nursery variant of
+// Figure 5(b).
+type GenCopy struct {
+	gc.Base
+	nursery *heap.BumpSpace
+	matFrom *heap.BumpSpace
+	matTo   *heap.BumpSpace
+	los     *heap.LOS
+	remset  *gc.RemSet
+
+	// FixedNurseryPages, when non-zero, pins the nursery size.
+	FixedNurseryPages int
+}
+
+var _ gc.Collector = (*GenCopy)(nil)
+
+// NewGenCopy creates a GenCopy collector on env. The two mature
+// semispaces split the second bump region.
+func NewGenCopy(env *gc.Env) *GenCopy {
+	mid := (env.Layout.Bump1Base + (env.Layout.Bump1End-env.Layout.Bump1Base)/2) &^ (mem.SuperSize - 1)
+	c := &GenCopy{
+		Base:    gc.Base{E: env},
+		nursery: heap.NewBumpSpace(env.Space, env.Layout.Bump0Base, env.Layout.Bump0End),
+		matFrom: heap.NewBumpSpace(env.Space, env.Layout.Bump1Base, mid),
+		matTo:   heap.NewBumpSpace(env.Space, mid, env.Layout.Bump1End),
+		los:     heap.NewLOS(env.Space, env.Layout.LOSBase, env.Layout.LOSEnd),
+	}
+	c.remset = gc.NewRemSet(env.Layout.Bump1Base, env.Layout.LOSEnd, 0)
+	c.resizeNursery()
+	return c
+}
+
+// Name implements gc.Collector.
+func (c *GenCopy) Name() string {
+	if c.FixedNurseryPages > 0 {
+		return "GenCopyFixed"
+	}
+	return "GenCopy"
+}
+
+// UsedPages implements gc.Collector. The inactive semispace's pages are
+// dead weight but not charged: like MMTk, only live spaces count against
+// the budget, while the copy reserve is charged by halving availability.
+func (c *GenCopy) UsedPages() int {
+	return c.matFrom.UsedPages() + c.los.UsedPages() + c.nursery.UsedPages()
+}
+
+// resizeNursery applies the Appel policy with a copy reserve: mature
+// usage is charged twice (space plus reserve), and the nursery gets half
+// of what remains (its own copy reserve).
+func (c *GenCopy) resizeNursery() {
+	free := (c.E.HeapPages - 2*c.matFrom.UsedPages() - c.los.UsedPages()) / 2
+	if c.FixedNurseryPages > 0 && free > c.FixedNurseryPages {
+		free = c.FixedNurseryPages
+	}
+	if free < gc.MinNurseryPages {
+		free = gc.MinNurseryPages
+	}
+	c.nursery.SetBudget(uint64(free) * mem.PageSize)
+}
+
+// Alloc implements gc.Collector.
+func (c *GenCopy) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	_, small := c.E.Classes.ForSize(total)
+	for attempt := 0; ; attempt++ {
+		var o objmodel.Ref
+		if small {
+			o = c.nursery.Alloc(t, arrayLen)
+		} else {
+			pages := int(mem.RoundUpPage(uint64(total)) / mem.PageSize)
+			if c.UsedPages()+pages <= c.E.HeapPages {
+				o = c.los.Alloc(t, arrayLen)
+			}
+		}
+		if o != mem.Nil {
+			c.CountAlloc(t, arrayLen)
+			return o
+		}
+		switch attempt {
+		case 0:
+			c.Collect(false)
+		case 1:
+			c.Collect(true)
+		default:
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *GenCopy) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector with the generational write barrier.
+func (c *GenCopy) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) {
+	slot := c.WriteRefRaw(o, i, v)
+	if v != mem.Nil && c.nursery.Contains(v) && !c.nursery.Contains(o) {
+		c.remset.Record(slot)
+	}
+}
+
+// Collect implements gc.Collector.
+func (c *GenCopy) Collect(full bool) {
+	if full {
+		c.fullGC()
+	} else {
+		c.nurseryGC()
+		if (c.E.HeapPages-2*c.matFrom.UsedPages()-c.los.UsedPages())/2 <= gc.MinNurseryPages {
+			c.fullGC()
+		}
+	}
+	if c.matFrom.UsedPages()+c.los.UsedPages() > c.E.HeapPages {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	c.resizeNursery()
+}
+
+// copyTo evacuates o into dst space, leaving a forwarding pointer.
+func (c *GenCopy) copyTo(o objmodel.Ref, dst *heap.BumpSpace, work *gc.WorkList) objmodel.Ref {
+	if objmodel.Forwarded(c.E.Space, o) {
+		return objmodel.ForwardAddr(c.E.Space, o)
+	}
+	size := gc.ObjectBytes(c.E.Space, c.E.Types, o)
+	nw := dst.AllocRaw(size)
+	if nw == mem.Nil {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	gc.CopyObject(c.E.Space, o, nw, size)
+	objmodel.Forward(c.E.Space, o, nw)
+	work.Push(nw)
+	return nw
+}
+
+// nurseryGC copies nursery survivors into the active mature semispace.
+func (c *GenCopy) nurseryGC() {
+	done := c.Stats().BeginPause(c.E, metrics.PauseNursery)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Nursery++
+
+	var work gc.WorkList
+	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
+		if c.nursery.Contains(tgt) {
+			c.E.Space.WriteAddr(slot, c.copyTo(tgt, c.matFrom, &work))
+		}
+	}
+	c.remset.ForEachSlot(func(slot mem.Addr) {
+		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
+			fwd(slot, tgt)
+		}
+	})
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		if c.nursery.Contains(*slot) {
+			*slot = c.copyTo(*slot, c.matFrom, &work)
+		}
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
+	}
+	c.nursery.Reset()
+	c.remset.Clear()
+}
+
+// fullGC flips the mature semispaces, copying all live data (nursery and
+// mature) into the new active space; LOS objects are marked and swept.
+func (c *GenCopy) fullGC() {
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	c.matFrom, c.matTo = c.matTo, c.matFrom
+	c.matFrom.Reset()
+	epoch := c.NextEpoch()
+
+	var work gc.WorkList
+	forward := func(o objmodel.Ref) objmodel.Ref {
+		switch {
+		case c.nursery.Contains(o), c.matTo.Contains(o):
+			return c.copyTo(o, c.matFrom, &work)
+		case c.los.Contains(o):
+			if !objmodel.Marked(c.E.Space, o, epoch) {
+				objmodel.SetMark(c.E.Space, o, epoch)
+				work.Push(o)
+			}
+			return o
+		}
+		return o
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = forward(*slot)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := forward(tgt); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	c.los.Sweep(epoch, nil)
+	c.nursery.Reset()
+	c.remset.Clear()
+}

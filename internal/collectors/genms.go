@@ -1,0 +1,218 @@
+package collectors
+
+import (
+	"math"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// GenMS is the Appel-style generational collector with a bump-pointer
+// nursery and a mark-sweep mature space — the paper's consistently
+// highest-throughput baseline (§5.2) and the collector BC is closest to.
+// Nursery collections copy survivors into the segregated-fit superpage
+// space; full collections mark-sweep everything. With FixedNurseryPages
+// set it becomes the fixed-size-nursery variant of Figure 5(b).
+type GenMS struct {
+	gc.Base
+	gc.Mature
+	nursery *heap.BumpSpace
+	remset  *gc.RemSet
+
+	// FixedNurseryPages, when non-zero, pins the nursery size instead of
+	// Appel-style variable sizing.
+	FixedNurseryPages int
+}
+
+var _ gc.Collector = (*GenMS)(nil)
+
+// NewGenMS creates a GenMS collector on env.
+func NewGenMS(env *gc.Env) *GenMS {
+	c := &GenMS{
+		Base:    gc.Base{E: env},
+		nursery: heap.NewBumpSpace(env.Space, env.Layout.Bump0Base, env.Layout.Bump0End),
+	}
+	c.Mature = gc.NewMature(env)
+	// MMTk-style unbounded write buffer (bufCap 0).
+	c.remset = gc.NewRemSet(env.Layout.MatureBase, env.Layout.LOSEnd, 0)
+	c.resizeNursery()
+	return c
+}
+
+// Name implements gc.Collector.
+func (c *GenMS) Name() string {
+	if c.FixedNurseryPages > 0 {
+		return "GenMSFixed"
+	}
+	return "GenMS"
+}
+
+// UsedPages implements gc.Collector.
+func (c *GenMS) UsedPages() int { return c.MatureUsedPages() + c.nursery.UsedPages() }
+
+// resizeNursery applies the Appel policy: the nursery gets all the space
+// the mature heap is not using.
+func (c *GenMS) resizeNursery() {
+	free := c.E.HeapPages - c.MatureUsedPages()
+	if c.FixedNurseryPages > 0 && free > c.FixedNurseryPages {
+		free = c.FixedNurseryPages
+	}
+	if free < gc.MinNurseryPages {
+		free = gc.MinNurseryPages
+	}
+	c.nursery.SetBudget(uint64(free) * mem.PageSize)
+}
+
+// Alloc implements gc.Collector.
+func (c *GenMS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	_, small := c.E.Classes.ForSize(total)
+	for attempt := 0; ; attempt++ {
+		var o objmodel.Ref
+		if small {
+			o = c.nursery.Alloc(t, arrayLen)
+		} else {
+			o = c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, c.nursery.UsedPages())
+		}
+		if o != mem.Nil {
+			c.CountAlloc(t, arrayLen)
+			return o
+		}
+		switch attempt {
+		case 0:
+			c.Collect(false)
+		case 1:
+			c.Collect(true)
+		default:
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *GenMS) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector with the generational write barrier:
+// stores of nursery pointers into non-nursery objects are remembered.
+func (c *GenMS) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) {
+	slot := c.WriteRefRaw(o, i, v)
+	if v != mem.Nil && c.nursery.Contains(v) && !c.nursery.Contains(o) {
+		c.remset.Record(slot)
+	}
+}
+
+// Collect implements gc.Collector.
+func (c *GenMS) Collect(full bool) {
+	if full {
+		c.fullGC()
+	} else {
+		c.nurseryGC()
+		// Appel trigger: a nursery too small to be useful means the
+		// mature space owns the heap — do the full collection now.
+		if c.E.HeapPages-c.MatureUsedPages() <= gc.MinNurseryPages {
+			c.fullGC()
+		}
+	}
+	if c.MatureUsedPages() > c.E.HeapPages {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	c.resizeNursery()
+}
+
+// copyToMature evacuates a nursery object, leaving a forwarding pointer.
+func (c *GenMS) copyToMature(o objmodel.Ref, work *gc.WorkList) objmodel.Ref {
+	if objmodel.Forwarded(c.E.Space, o) {
+		return objmodel.ForwardAddr(c.E.Space, o)
+	}
+	t, n := c.E.Types.TypeOf(c.E.Space, o)
+	// Collection-time copies may not fail mid-GC; the budget is enforced
+	// after the collection completes.
+	dst := c.AllocMature(c.E, t, n, math.MaxInt, 0)
+	if dst == mem.Nil {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	size := int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+	gc.CopyObject(c.E.Space, o, dst, size)
+	objmodel.Forward(c.E.Space, o, dst)
+	work.Push(dst)
+	return dst
+}
+
+// nurseryGC copies nursery survivors to the mature space.
+func (c *GenMS) nurseryGC() {
+	done := c.Stats().BeginPause(c.E, metrics.PauseNursery)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Nursery++
+
+	var work gc.WorkList
+	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
+		if c.nursery.Contains(tgt) {
+			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, &work))
+		}
+	}
+	// Remembered slots first (old-to-young pointers), then roots.
+	c.remset.ForEachSlot(func(slot mem.Addr) {
+		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
+			fwd(slot, tgt)
+		}
+	})
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		if c.nursery.Contains(*slot) {
+			*slot = c.copyToMature(*slot, &work)
+		}
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
+	}
+	c.nursery.Reset()
+	c.remset.Clear()
+}
+
+// fullForward handles one edge during a full collection: nursery objects
+// are evacuated, everything else is marked in place.
+func (c *GenMS) fullForward(o objmodel.Ref, work *gc.WorkList, epoch uint32) objmodel.Ref {
+	if c.nursery.Contains(o) {
+		dst := c.copyToMature(o, work)
+		objmodel.SetMark(c.E.Space, dst, epoch)
+		return dst
+	}
+	gc.MarkStep(c.E, work, o, epoch)
+	return o
+}
+
+// fullGC marks and sweeps the whole heap, evacuating the nursery.
+func (c *GenMS) fullGC() {
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = c.fullForward(*slot, &work, epoch)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := c.fullForward(tgt, &work, epoch); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	c.SS.Sweep(epoch)
+	c.LOS.Sweep(epoch, nil)
+	c.nursery.Reset()
+	c.remset.Clear()
+}

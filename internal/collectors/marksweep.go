@@ -1,0 +1,70 @@
+package collectors
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// MarkSweep is the whole-heap, non-moving collector: segregated-fit
+// superpage allocation plus a large object space. Marking writes mark
+// state into object headers and sweeping reads every allocated block, so
+// under memory pressure it touches evicted pages freely — the paper drops
+// it from the pressure graphs because runs "can take hours" (§5.3.1).
+type MarkSweep struct {
+	gc.Base
+	gc.Mature
+}
+
+var _ gc.Collector = (*MarkSweep)(nil)
+
+// NewMarkSweep creates a MarkSweep collector on env.
+func NewMarkSweep(env *gc.Env) *MarkSweep {
+	c := &MarkSweep{Base: gc.Base{E: env}}
+	c.Mature = gc.NewMature(env)
+	return c
+}
+
+// Name implements gc.Collector.
+func (c *MarkSweep) Name() string { return "MarkSweep" }
+
+// UsedPages implements gc.Collector.
+func (c *MarkSweep) UsedPages() int { return c.MatureUsedPages() }
+
+// Alloc implements gc.Collector.
+func (c *MarkSweep) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	for attempt := 0; ; attempt++ {
+		if o := c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, 0); o != mem.Nil {
+			c.CountAlloc(t, arrayLen)
+			return o
+		}
+		if attempt == 2 {
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+		c.Collect(true)
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *MarkSweep) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector (no barrier needed).
+func (c *MarkSweep) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRefRaw(o, i, v) }
+
+// Collect implements gc.Collector: a full mark-sweep collection.
+func (c *MarkSweep) Collect(bool) {
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		gc.MarkStep(c.E, &work, *slot, epoch)
+	})
+	gc.MarkTrace(c.E, &work, epoch, nil)
+	c.SS.Sweep(epoch)
+	c.LOS.Sweep(epoch, nil)
+}

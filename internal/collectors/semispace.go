@@ -1,0 +1,131 @@
+package collectors
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// SemiSpace is the classic two-space copying collector: bump allocation
+// into to-space, whole-heap Cheney copy on exhaustion. Half the heap is
+// a copy reserve, and dead from-space pages linger in memory until the
+// VM evicts them — both liabilities the paper discusses (§5.3.2).
+// Large objects go to a non-moving LOS collected at each GC.
+type SemiSpace struct {
+	gc.Base
+	from, to *heap.BumpSpace
+	los      *heap.LOS
+}
+
+var _ gc.Collector = (*SemiSpace)(nil)
+
+// NewSemiSpace creates a SemiSpace collector on env.
+func NewSemiSpace(env *gc.Env) *SemiSpace {
+	half := uint64(env.HeapPages) / 2 * mem.PageSize
+	s := &SemiSpace{
+		Base: gc.Base{E: env},
+		from: heap.NewBumpSpace(env.Space, env.Layout.Bump0Base, env.Layout.Bump0End),
+		to:   heap.NewBumpSpace(env.Space, env.Layout.Bump1Base, env.Layout.Bump1End),
+		los:  heap.NewLOS(env.Space, env.Layout.LOSBase, env.Layout.LOSEnd),
+	}
+	s.from.SetBudget(half)
+	s.to.SetBudget(half)
+	return s
+}
+
+// Name implements gc.Collector.
+func (c *SemiSpace) Name() string { return "SemiSpace" }
+
+// UsedPages implements gc.Collector.
+func (c *SemiSpace) UsedPages() int { return c.to.UsedPages() + c.los.UsedPages() }
+
+// Alloc implements gc.Collector. Allocation goes to to-space; objects too
+// large for a size class would also be too large here only if they exceed
+// the semispace, so anything above the LOS threshold goes to the LOS.
+func (c *SemiSpace) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	for attempt := 0; ; attempt++ {
+		var o objmodel.Ref
+		if _, small := c.E.Classes.ForSize(total); !small {
+			pages := int(mem.RoundUpPage(uint64(total)) / mem.PageSize)
+			if c.los.UsedPages()+pages <= c.E.HeapPages/4 { // LOS shares the non-reserve half
+				o = c.los.Alloc(t, arrayLen)
+			}
+		} else {
+			// Keep the semispace within budget net of LOS usage.
+			c.to.SetBudget(uint64(c.E.HeapPages/2-c.los.UsedPages()) * mem.PageSize)
+			o = c.to.Alloc(t, arrayLen)
+		}
+		if o != mem.Nil {
+			c.CountAlloc(t, arrayLen)
+			return o
+		}
+		if attempt == 2 {
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+		}
+		c.Collect(true)
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *SemiSpace) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector (no barrier).
+func (c *SemiSpace) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRefRaw(o, i, v) }
+
+// Collect implements gc.Collector: flip and copy.
+func (c *SemiSpace) Collect(bool) {
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	c.from, c.to = c.to, c.from
+	c.to.Reset()
+	c.to.SetBudget(uint64(c.E.HeapPages/2-c.los.UsedPages()) * mem.PageSize)
+	epoch := c.NextEpoch()
+
+	var work gc.WorkList
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = c.forward(*slot, &work, epoch)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
+			c.E.Space.WriteAddr(slot, c.forward(tgt, &work, epoch))
+		})
+	}
+	c.los.Sweep(epoch, nil)
+}
+
+// forward copies o into to-space if it lives in from-space, returning its
+// new address; LOS objects are marked in place.
+func (c *SemiSpace) forward(o objmodel.Ref, work *gc.WorkList, epoch uint32) objmodel.Ref {
+	if c.los.Contains(o) {
+		if !objmodel.Marked(c.E.Space, o, epoch) {
+			objmodel.SetMark(c.E.Space, o, epoch)
+			work.Push(o)
+		}
+		return o
+	}
+	if !c.from.Contains(o) {
+		return o
+	}
+	if objmodel.Forwarded(c.E.Space, o) {
+		return objmodel.ForwardAddr(c.E.Space, o)
+	}
+	size := gc.ObjectBytes(c.E.Space, c.E.Types, o)
+	dst := c.to.AllocRaw(size)
+	if dst == mem.Nil {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
+	}
+	gc.CopyObject(c.E.Space, o, dst, size)
+	objmodel.Forward(c.E.Space, o, dst)
+	work.Push(dst)
+	return dst
+}

@@ -1,0 +1,565 @@
+// Package core implements the paper's contribution: the bookmarking
+// collector (BC). BC is a generational collector with a bump-pointer
+// nursery, a segregated-fit mark-sweep mature space over superpages, a
+// page-based large object space, and compaction under memory pressure —
+// and, centrally, it cooperates with the virtual memory manager so that
+// collection never touches evicted pages:
+//
+//   - it tracks page residency in a bit array (§3.3.1);
+//   - it hands the VMM empty pages, a whole bitmap word at a time, before
+//     surrendering any occupied page (§3.3.2, §3.4.3);
+//   - it shrinks its heap to the current footprint under pressure
+//     (§3.3.3);
+//   - when an occupied page must go, it scans it, bookmarks the targets
+//     of its outgoing references, bumps incoming-bookmark counters in the
+//     target superpages' headers, conservatively bookmarks the page's own
+//     objects, protects the page, and relinquishes it (§3.4);
+//   - full collections treat memory-resident bookmarked objects as roots
+//     and ignore references to evicted pages (§3.4.1);
+//   - on reload it decrements incoming counters and clears bookmarks that
+//     are no longer needed (§3.4.2);
+//   - if the heap is exhausted anyway, a fail-safe collection discards
+//     every bookmark and collects the whole heap, touching evicted pages
+//     (§3.5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// VictimPolicy selects which page to process when the VMM schedules an
+// occupied page for eviction. The alternatives are the paper's proposed
+// future-work strategies (§7).
+type VictimPolicy uint8
+
+const (
+	// VictimDefault accepts the VMM's LRU choice.
+	VictimDefault VictimPolicy = iota
+	// VictimPreferPointerFree redirects the eviction to a resident mature
+	// page containing no pointers when the LRU choice has many, avoiding
+	// bookmarks (and false garbage) entirely.
+	VictimPreferPointerFree
+)
+
+// Config selects BC variants.
+type Config struct {
+	// ResizeOnly disables bookmarking: BC still discards empty pages and
+	// shrinks its heap, but occupied pages evict unprocessed and
+	// collections touch evicted pages. This is the "BC w/Resizing only"
+	// variant of Figure 5.
+	ResizeOnly bool
+	// Victim selects the eviction-victim strategy (§7).
+	Victim VictimPolicy
+	// Regrow lets BC raise its footprint target again when the VMM
+	// reports free memory (§7: transient pressure should not permanently
+	// limit throughput).
+	Regrow bool
+
+	// NoAggressiveDiscard disables the §3.4.3 word-at-a-time discard:
+	// each notification hands back at most one empty page. An ablation of
+	// the design choice DESIGN.md calls out.
+	NoAggressiveDiscard bool
+
+	// debugNoDiscard disables empty-page discarding entirely (used by the
+	// safepoint regression test and as a further ablation point).
+	debugNoDiscard bool
+}
+
+// BC is the bookmarking collector.
+type BC struct {
+	gc.Base
+	gc.Mature
+	nursery *heap.BumpSpace
+	remset  *gc.RemSet
+	cfg     Config
+
+	// Page state as BC tracks it (§3.3.1). resident approximates "backed
+	// by a frame"; evicted is exact for pages BC has surrendered.
+	resident  *mem.Bitmap
+	evicted   *mem.Bitmap
+	processed *mem.Bitmap // pages whose eviction-scan set bookmarks
+
+	// pageTargets records, per processed page, which superpages (by
+	// index) and LOS objects had their incoming counts raised, so the
+	// reload path decrements exactly what eviction incremented. The real
+	// implementation re-derives this by rescanning the reloaded page;
+	// keeping the record exact avoids drift for objects straddling pages.
+	pageTargets map[mem.PageID]*pageRecord
+
+	losIncoming map[objmodel.Ref]int // incoming bookmark counts, LOS objects
+
+	// footprintTarget is the page budget pressure has squeezed us to
+	// (§3.3.3); effective budget = min(HeapPages, footprintTarget).
+	footprintTarget int
+	discardCredit   int // aggressive-discard slack (§3.4.3)
+	discardCursor   int // rotating scan position for discardable pages
+
+	inGC          bool
+	pendingGC     bool   // eviction handler requested a collection (§3.3.2)
+	allocsSinceGC uint64 // mutator progress since the last handler-triggered GC
+	lastNotify    time.Duration
+	evictedHeapPg int // count of evicted heap pages
+
+	// booksValid is false between a fail-safe collection (§3.5), which
+	// discards all bookmark state, and the first collection that ends
+	// with no pages evicted. While false, BC behaves like the resize-only
+	// variant — pages evict unprocessed and collections touch evicted
+	// pages — because the in-memory-collection invariant (every evicted
+	// page's outgoing references are counted and its objects bookmarked)
+	// no longer holds.
+	booksValid bool
+
+	// curWork/curEpoch expose the active full-collection worklist to the
+	// eviction handler: a target bookmarked mid-collection must still be
+	// marked and scanned by the collection in progress, or its children
+	// could be swept while reachable only through the evicted page (the
+	// sound form of the paper's preventive bookmarking, §3.4.3).
+	curWork  *gc.WorkList
+	curEpoch uint32
+
+	// nurseryPtrCache memoizes the "does this mature page hold a nursery
+	// pointer" veto scan. Entries are invalidated when a nursery pointer
+	// is stored to the page and the cache is dropped whenever the nursery
+	// empties, so a cached false verdict is always sound.
+	nurseryPtrCache map[mem.PageID]bool
+}
+
+type pageRecord struct {
+	supers []int32
+	los    []objmodel.Ref
+}
+
+var _ gc.Collector = (*BC)(nil)
+
+// New creates a bookmarking collector on env and registers it for paging
+// notifications.
+func New(env *gc.Env, cfg Config) *BC {
+	c := &BC{
+		Base:            gc.Base{E: env},
+		nursery:         heap.NewBumpSpace(env.Space, env.Layout.Bump0Base, env.Layout.Bump0End),
+		cfg:             cfg,
+		resident:        mem.NewBitmap(env.Space.Pages()),
+		evicted:         mem.NewBitmap(env.Space.Pages()),
+		processed:       mem.NewBitmap(env.Space.Pages()),
+		pageTargets:     make(map[mem.PageID]*pageRecord),
+		losIncoming:     make(map[objmodel.Ref]int),
+		footprintTarget: math.MaxInt,
+		allocsSinceGC:   1 << 20,
+		nurseryPtrCache: make(map[mem.PageID]bool),
+		booksValid:      true,
+	}
+	c.Mature = gc.NewMature(env)
+	c.SS.SetResidencyFilter(c.pageOK)
+	c.remset = gc.NewRemSet(env.Layout.MatureBase, env.Layout.LOSEnd, gc.EntriesPerPage)
+	c.remset.SetFilter(func(slot mem.Addr) bool {
+		return c.nursery.Contains(c.E.Space.ReadAddr(slot))
+	})
+	env.Proc.Register((*bcHandler)(c))
+	c.resizeNursery()
+	return c
+}
+
+// Name implements gc.Collector.
+func (c *BC) Name() string {
+	if c.cfg.ResizeOnly {
+		return "BCResizeOnly"
+	}
+	return "BC"
+}
+
+// UsedPages implements gc.Collector.
+func (c *BC) UsedPages() int { return c.MatureUsedPages() + c.nursery.UsedPages() }
+
+// pageOK reports whether BC may touch page p: anything it has not seen
+// evicted (§3.3.1 — the bit array consulted instead of the kernel). The
+// resize-only variant has no bookmarks to fall back on, so it touches
+// evicted pages like any other collector and pageOK is always true.
+func (c *BC) pageOK(p mem.PageID) bool {
+	return c.cfg.ResizeOnly || !c.booksValid || !c.evicted.Test(int(p))
+}
+
+// budget returns the effective heap budget in pages: the configured size,
+// squeezed by memory pressure, but never below what live mature data plus
+// a minimal nursery requires (BC grows at the cost of paging only when
+// needed for completion, §3.3.3).
+func (c *BC) budget() int {
+	// The pressure-shrunk target never squeezes below what live mature
+	// data plus a minimal nursery requires — BC grows (at the cost of
+	// paging) when that is necessary for completion — but the configured
+	// maximum heap is still a hard ceiling.
+	target := c.footprintTarget
+	if floor := c.MatureUsedPages() + gc.MinNurseryPages; target < floor {
+		target = floor
+	}
+	if target > c.E.HeapPages {
+		return c.E.HeapPages
+	}
+	return target
+}
+
+// resetNursery empties the nursery after a collection and drops the
+// structures keyed to its contents: the remembered set and the
+// nursery-pointer page cache.
+func (c *BC) resetNursery() {
+	c.nursery.Reset()
+	c.remset.Clear()
+	clear(c.nurseryPtrCache)
+}
+
+// reservePages is the empty-page reserve of §3.4.3: a store of empty,
+// memory-resident pages kept beyond the nursery budget. When the VMM
+// schedules evictions while a collection is running (or faster than BC
+// can react), these absorb the pressure — BC discards them instead of
+// surrendering occupied pages mid-collection.
+const reservePages = 128
+
+// resizeNursery applies the Appel policy within the effective budget and
+// replenishes the empty-page reserve.
+func (c *BC) resizeNursery() {
+	free := c.budget() - c.MatureUsedPages()
+	if free < gc.MinNurseryPages {
+		free = gc.MinNurseryPages
+	}
+	c.nursery.SetBudget(uint64(free) * mem.PageSize)
+
+	// Replenish the reserve: touch pages just beyond the nursery budget
+	// so they are resident and empty — pageDiscardable recognizes any
+	// nursery-region page past the frontier, so the eviction handler
+	// hands these out first (§3.4.3).
+	limit := c.nursery.Base() + mem.Addr(c.nursery.Budget())
+	for i := 0; i < reservePages; i++ {
+		a := limit + mem.Addr(i)*mem.PageSize
+		if !c.nursery.Contains(a) {
+			break
+		}
+		p := a.Page()
+		if c.evicted.Test(int(p)) || c.resident.Test(int(p)) {
+			continue
+		}
+		c.E.Proc.Touch(p, false)
+		c.resident.Set(int(p))
+	}
+}
+
+// markRangeResident updates the residency bit array for [a, a+bytes).
+func (c *BC) markRangeResident(a mem.Addr, bytes int) {
+	first, last := mem.PagesIn(a, uint64(bytes))
+	for p := first; p <= last; p++ {
+		if c.evicted.Test(int(p)) {
+			// Writing here would have major-faulted and the reload
+			// handler already fixed the books; nothing to do.
+			continue
+		}
+		c.resident.Set(int(p))
+	}
+}
+
+// Alloc implements gc.Collector. The escalation ladder is the paper's:
+// nursery collection, then full mark-sweep, then compaction (§3.2), then
+// the completeness fail-safe (§3.5).
+func (c *BC) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	if c.pendingGC {
+		// The eviction handler asked for a collection; this is the first
+		// safepoint since. Freshly emptied pages become discardable for
+		// the next notifications (§3.3.2).
+		c.pendingGC = false
+		c.Collect(true)
+	}
+	total := t.TotalBytes(arrayLen)
+	_, small := c.E.Classes.ForSize(total)
+	for attempt := 0; ; attempt++ {
+		var o objmodel.Ref
+		if small {
+			o = c.nursery.Alloc(t, arrayLen)
+		} else {
+			o = c.AllocMature(c.E, t, arrayLen, c.budget(), c.nursery.UsedPages())
+		}
+		if o != mem.Nil {
+			c.markRangeResident(o, total)
+			c.CountAlloc(t, arrayLen)
+			c.allocsSinceGC++
+			c.maybeRegrow()
+			return o
+		}
+		switch attempt {
+		case 0:
+			c.Collect(false)
+		case 1:
+			c.Collect(true)
+		case 2:
+			c.compact()
+		case 3:
+			if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly {
+				c.failSafe()
+			}
+		case 4:
+			// Evicted pages force compaction targets and pin garbage via
+			// bookmarks; after the fail-safe reloaded and unbookmarked
+			// everything, one more compaction can finally densify.
+			c.compact()
+		default:
+			panic(gc.ErrOutOfMemory{
+				Collector: c.Name(),
+				HeapPages: c.budget(),
+				Detail: fmt.Sprintf("mature=%dp los=%dp nursery=%dp supers=%d evicted=%dp need=%dB",
+					c.SS.UsedPages(), c.LOS.UsedPages(), c.nursery.UsedPages(),
+					c.SS.InUseSupers(), c.evictedHeapPg, total),
+			})
+		}
+	}
+}
+
+// ReadRef implements gc.Collector.
+func (c *BC) ReadRef(o objmodel.Ref, i int) objmodel.Ref { return c.ReadRefRaw(o, i) }
+
+// WriteRef implements gc.Collector with the generational write barrier
+// feeding the page-sized write buffer (§3.1).
+func (c *BC) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) {
+	slot := c.WriteRefRaw(o, i, v)
+	if v != mem.Nil && c.nursery.Contains(v) && !c.nursery.Contains(o) {
+		c.remset.Record(slot)
+		delete(c.nurseryPtrCache, slot.Page()) // a cached "no nursery pointer" verdict just became false
+	}
+}
+
+// Collect implements gc.Collector.
+func (c *BC) Collect(full bool) {
+	if c.inGC {
+		return
+	}
+	if full {
+		c.fullGC()
+	} else {
+		c.nurseryGC()
+		if c.budget()-c.MatureUsedPages() <= gc.MinNurseryPages {
+			c.fullGC()
+		}
+	}
+	c.resizeNursery()
+}
+
+// scanLive visits o's reference slots, skipping slots that lie on evicted
+// pages (their targets were bookmarked when those pages left, §3.4.1) and
+// targets whose header page is evicted.
+func (c *BC) scanLive(o objmodel.Ref, fn func(slot mem.Addr, tgt objmodel.Ref)) {
+	t, n := c.E.Types.TypeOf(c.E.Space, o)
+	for i := 0; i < t.NumRefSlots(n); i++ {
+		slot := t.RefSlotAddr(o, i)
+		if !c.pageOK(slot.Page()) {
+			continue
+		}
+		tgt := c.E.Space.ReadAddr(slot)
+		if tgt == mem.Nil || !c.pageOK(tgt.Page()) {
+			continue
+		}
+		fn(slot, tgt)
+	}
+}
+
+// copyToMature evacuates a nursery survivor into the mature space,
+// allocating only on resident pages (the residency filter is installed on
+// the superpage space).
+func (c *BC) copyToMature(o objmodel.Ref, work *gc.WorkList) objmodel.Ref {
+	if objmodel.Forwarded(c.E.Space, o) {
+		return objmodel.ForwardAddr(c.E.Space, o)
+	}
+	t, n := c.E.Types.TypeOf(c.E.Space, o)
+	dst := c.AllocMature(c.E, t, n, math.MaxInt, 0)
+	if dst == mem.Nil {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.budget()})
+	}
+	size := int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+	gc.CopyObject(c.E.Space, o, dst, size)
+	objmodel.Forward(c.E.Space, o, dst)
+	c.markRangeResident(dst, size)
+	work.Push(dst)
+	return dst
+}
+
+// nurseryGC copies nursery survivors into the mature space. Roots are the
+// mutator roots, the write buffer, and the card table the buffer was
+// filtered into (§3.1).
+func (c *BC) nurseryGC() {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	done := c.Stats().BeginPause(c.E, metrics.PauseNursery)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Nursery++
+
+	var work gc.WorkList
+	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
+		if c.nursery.Contains(tgt) {
+			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, &work))
+		}
+	}
+	c.remset.ForEachSlot(func(slot mem.Addr) {
+		if !c.pageOK(slot.Page()) {
+			return // the slot's page was evicted; it held no nursery pointer
+		}
+		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
+			fwd(slot, tgt)
+		}
+	})
+	c.remset.ForEachCard(func(start, end mem.Addr) {
+		c.scanCard(start, end, fwd)
+	})
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		if c.nursery.Contains(*slot) {
+			*slot = c.copyToMature(*slot, &work)
+		}
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		// Fresh copies live on resident pages, but their slots may point
+		// anywhere; only nursery targets matter here.
+		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
+	}
+	c.resetNursery()
+}
+
+// scanCard visits the objects overlapping a marked card and forwards
+// their nursery references. Cards only ever cover resident pages: a page
+// is scanned and protected before eviction, and pages holding nursery
+// pointers are vetoed as victims.
+func (c *BC) scanCard(start, end mem.Addr, fwd func(slot mem.Addr, tgt objmodel.Ref)) {
+	if c.SS.Contains(start) {
+		idx := c.SS.SuperIndex(start)
+		if !c.SS.Used(idx) {
+			return
+		}
+		c.SS.ObjectsOverlappingRange(idx, start, end, func(o objmodel.Ref) {
+			if c.pageOK(o.Page()) {
+				c.scanLive(o, fwd)
+			}
+		})
+		return
+	}
+	if o, ok := c.LOS.ObjectContaining(start); ok {
+		if c.pageOK(o.Page()) {
+			c.scanLive(o, fwd)
+		}
+	}
+}
+
+// bookmarkRoots marks every memory-resident bookmarked object as if it
+// were root-referenced, scanning only superpages with a nonzero incoming
+// bookmark count (§3.4.1), plus bookmarked large objects.
+func (c *BC) bookmarkRoots(work *gc.WorkList, epoch uint32) {
+	c.SS.ForEachSuper(func(idx int, _ objmodel.SizeClass, _ objmodel.Kind) {
+		if c.SS.Incoming(idx) == 0 && !c.superHasEvicted(idx) {
+			return
+		}
+		c.SS.ForEachObjectIn(idx, func(o objmodel.Ref) {
+			if !c.pageOK(o.Page()) {
+				return
+			}
+			if objmodel.Bookmarked(c.E.Space, o) {
+				gc.MarkStep(c.E, work, o, epoch)
+			}
+		})
+	})
+	for _, o := range c.sortedLOSBookmarks() {
+		if c.pageOK(o.Page()) && objmodel.Bookmarked(c.E.Space, o) {
+			gc.MarkStep(c.E, work, o, epoch)
+		}
+	}
+}
+
+// sortedLOSBookmarks returns the large objects with incoming bookmarks in
+// address order, so traversal order — and therefore the simulated clock —
+// does not depend on map iteration order.
+func (c *BC) sortedLOSBookmarks() []objmodel.Ref {
+	out := make([]objmodel.Ref, 0, len(c.losIncoming))
+	for o := range c.losIncoming {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// superHasEvicted reports whether any page of superpage idx is evicted.
+func (c *BC) superHasEvicted(idx int) bool {
+	first, last := c.SS.PagesOf(idx)
+	for p := first; p <= last; p++ {
+		if c.evicted.Test(int(p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// fullGC is the in-memory full-heap collection (§3.4.1): bookmarked
+// objects are secondary roots, references to evicted pages are ignored,
+// and only memory-resident pages are swept.
+func (c *BC) fullGC() {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Full++
+
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	c.curWork, c.curEpoch = &work, epoch
+	defer func() { c.curWork = nil }()
+	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
+		c.bookmarkRoots(&work, epoch)
+	}
+	forward := func(o objmodel.Ref) objmodel.Ref {
+		if c.nursery.Contains(o) {
+			dst := c.copyToMature(o, &work)
+			objmodel.SetMark(c.E.Space, dst, epoch)
+			return dst
+		}
+		if !c.pageOK(o.Page()) {
+			return o // never touch evicted pages
+		}
+		gc.MarkStep(c.E, &work, o, epoch)
+		return o
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = forward(*slot)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		if !c.pageOK(o.Page()) {
+			// Evicted while queued: its fields were scanned and its
+			// targets bookmarked (and re-queued) when the page left.
+			continue
+		}
+		c.scanLive(o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := forward(tgt); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	c.SS.Sweep(epoch)
+	c.LOS.Sweep(epoch, c.pageOK)
+	c.resetNursery()
+	c.maybeRevalidate()
+}
+
+// maybeRevalidate restores cooperative mode once nothing is evicted: the
+// bookmark invariant then holds trivially.
+func (c *BC) maybeRevalidate() {
+	if !c.booksValid && c.evictedHeapPg == 0 {
+		c.booksValid = true
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/vmm"
+)
+
+// CheckInvariants validates BC's structural invariants without touching
+// any data page (object words are peeked from the backing store
+// directly; only always-resident superpage headers are read normally),
+// so residency, LRU state, and the clock are essentially unperturbed.
+// It returns the first violation found, or nil. It is meant for tests
+// and debugging; a production build would compile it out.
+//
+// Checked invariants:
+//
+//  1. superpage accounting: the allocated-block count in each header
+//     matches the allocation bitmap, and every allocated block holds a
+//     plausible object header;
+//  2. bookmark books balance: each in-use superpage's incoming counter
+//     equals the number of processed pages whose records name it, and
+//     likewise for large objects;
+//  3. page-state agreement: every page BC believes evicted is Evicted or
+//     (pending eviction) Resident in the VMM, and processed pages are a
+//     subset of evicted pages;
+//  4. reachability: every object reachable from the roots lies in a
+//     valid allocation (nursery extent, allocated superpage block, or
+//     live large object) and carries a registered type.
+func (c *BC) CheckInvariants() error {
+	if err := c.checkSuperpages(); err != nil {
+		return err
+	}
+	if err := c.checkBookBalance(); err != nil {
+		return err
+	}
+	if err := c.checkPageStates(); err != nil {
+		return err
+	}
+	return c.checkReachability()
+}
+
+// peek reads a heap word without touching the page.
+func (c *BC) peek(a mem.Addr) uint64 { return c.E.Space.PeekWord(a) }
+
+func (c *BC) checkSuperpages() error {
+	var err error
+	c.SS.ForEachSuper(func(idx int, cl objmodel.SizeClass, kind objmodel.Kind) {
+		if err != nil {
+			return
+		}
+		count := 0
+		c.SS.ForEachObjectIn(idx, func(o objmodel.Ref) {
+			count++
+			id := int32(uint32(c.peek(o + mem.WordSize)))
+			if int(id) >= c.E.Types.Len() || id < 0 {
+				err = fmt.Errorf("super %d: block %#x has bad type id %d", idx, o, id)
+				return
+			}
+			t := c.E.Types.Get(id)
+			if t.Kind != kind {
+				err = fmt.Errorf("super %d: %s object %#x on %s superpage", idx, t.Kind, o, kind)
+				return
+			}
+			n := int(uint32(c.peek(o+mem.WordSize) >> 32))
+			if t.TotalBytes(n) > cl.BlockSize {
+				err = fmt.Errorf("super %d: object %#x (%dB) overflows %dB block",
+					idx, o, t.TotalBytes(n), cl.BlockSize)
+			}
+		})
+		if err == nil && count != c.SS.Allocated(idx) {
+			err = fmt.Errorf("super %d: header says %d allocated, bitmap has %d",
+				idx, c.SS.Allocated(idx), count)
+		}
+	})
+	return err
+}
+
+func (c *BC) checkBookBalance() error {
+	superRefs := map[int]int{}
+	losRefs := map[objmodel.Ref]int{}
+	for p, rec := range c.pageTargets {
+		if !c.processed.Test(int(p)) {
+			return fmt.Errorf("page %d has a target record but no processed bit", p)
+		}
+		for _, idx := range rec.supers {
+			superRefs[int(idx)]++
+		}
+		for _, o := range rec.los {
+			losRefs[o]++
+		}
+	}
+	var err error
+	c.SS.ForEachSuper(func(idx int, _ objmodel.SizeClass, _ objmodel.Kind) {
+		if err != nil {
+			return
+		}
+		if got, want := c.SS.Incoming(idx), superRefs[idx]; got != want {
+			err = fmt.Errorf("super %d: incoming counter %d, records say %d", idx, got, want)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for o, n := range c.losIncoming {
+		if losRefs[o] != n {
+			return fmt.Errorf("LOS object %#x: incoming %d, records say %d", o, n, losRefs[o])
+		}
+	}
+	for o, n := range losRefs {
+		if c.losIncoming[o] != n {
+			return fmt.Errorf("LOS object %#x: records say %d, incoming map has %d", o, n, c.losIncoming[o])
+		}
+	}
+	return nil
+}
+
+func (c *BC) checkPageStates() error {
+	for i := c.evicted.NextSet(0); i >= 0; i = c.evicted.NextSet(i + 1) {
+		st := c.E.Proc.State(mem.PageID(i))
+		// A page BC marked evicted is either truly evicted or still
+		// resident awaiting eviction (relinquished/protected).
+		if st == vmm.Fresh {
+			return fmt.Errorf("page %d: BC says evicted, VMM says fresh", i)
+		}
+	}
+	for i := c.processed.NextSet(0); i >= 0; i = c.processed.NextSet(i + 1) {
+		if !c.evicted.Test(i) {
+			return fmt.Errorf("page %d processed but not marked evicted", i)
+		}
+	}
+	if got := c.evicted.Count(); got != c.evictedHeapPg {
+		return fmt.Errorf("evicted count drift: bitmap %d, counter %d", got, c.evictedHeapPg)
+	}
+	return nil
+}
+
+// checkReachability walks the object graph from the roots using peeks.
+func (c *BC) checkReachability() error {
+	seen := map[objmodel.Ref]bool{}
+	var stack []objmodel.Ref
+	push := func(o objmodel.Ref) error {
+		if o == mem.Nil || seen[o] {
+			return nil
+		}
+		if err := c.validObject(o); err != nil {
+			return err
+		}
+		seen[o] = true
+		stack = append(stack, o)
+		return nil
+	}
+	var err error
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		if err == nil {
+			err = push(*slot)
+		}
+	})
+	for err == nil && len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		id := int32(uint32(c.peek(o + mem.WordSize)))
+		t := c.E.Types.Get(id)
+		n := int(uint32(c.peek(o+mem.WordSize) >> 32))
+		for i := 0; i < t.NumRefSlots(n) && err == nil; i++ {
+			err = push(objmodel.Ref(c.peek(t.RefSlotAddr(o, i))))
+		}
+	}
+	return err
+}
+
+// validObject verifies o is a live allocation in some space.
+func (c *BC) validObject(o objmodel.Ref) error {
+	switch {
+	case c.nursery.ContainsAllocated(o):
+		// Bump region: any address below the frontier could be an object
+		// start; the type check below is the real gate.
+	case c.SS.Contains(o):
+		idx := c.SS.SuperIndex(o)
+		if !c.SS.Used(idx) {
+			return fmt.Errorf("reachable object %#x on free superpage %d", o, idx)
+		}
+		got, ok := c.SS.ObjectAt(idx, o)
+		if !ok || got != o {
+			return fmt.Errorf("reachable object %#x is not an allocated block start", o)
+		}
+	case c.LOS.Contains(o):
+		got, ok := c.LOS.ObjectContaining(o)
+		if !ok || got != o {
+			return fmt.Errorf("reachable object %#x is not a live large object", o)
+		}
+	default:
+		return fmt.Errorf("reachable object %#x outside every space", o)
+	}
+	id := int32(uint32(c.peek(o + mem.WordSize)))
+	if id < 0 || int(id) >= c.E.Types.Len() {
+		return fmt.Errorf("reachable object %#x has invalid type id %d", o, id)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestInvariantsHoldWithoutPressure(t *testing.T) {
+	_, c, node, _, dataArr := newBC(t, 512, 8, Config{})
+	head := buildList(c, node, 5000, 1)
+	for i := 0; i < 100000; i++ {
+		c.Alloc(node, 0)
+		if i%500 == 0 {
+			c.Alloc(dataArr, 2000) // LOS
+		}
+	}
+	c.Collect(true)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkList(t, c, head, 5000, 1)
+}
+
+func TestInvariantsHoldUnderPressure(t *testing.T) {
+	v, c, node, _, dataArr := newBC(t, 48, 24, Config{})
+	head := buildList(c, node, 80000, 2)
+	var arrs []int
+	for i := 0; i < 50; i++ {
+		arrs = append(arrs, c.Roots().Add(c.Alloc(dataArr, 2000)))
+	}
+	c.Collect(true)
+	pressurize(v, 400)
+	for i := 0; i < 150000; i++ {
+		c.Alloc(node, 0)
+		if i%20000 == 19999 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("after %d allocs: %v", i, err)
+			}
+		}
+	}
+	if c.Stats().PagesEvicted == 0 {
+		t.Fatal("pressure produced no bookmarking; invariant test too weak")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkList(t, c, head, 80000, 2)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("after reload walk: %v", err)
+	}
+}
+
+func TestInvariantsAcrossCompactionAndFailsafe(t *testing.T) {
+	v, c, node, _, _ := newBC(t, 48, 8, Config{})
+	head := buildList(c, node, 50000, 3)
+	c.Collect(true)
+	pressurize(v, 150)
+	for round := 0; round < 4; round++ {
+		tmp := buildList(c, node, 20000, uint64(round))
+		c.Roots().Release(tmp)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	checkList(t, c, head, 50000, 3)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("compactions=%d failsafes=%d", c.Stats().Compactions, c.Stats().FailSafe)
+}

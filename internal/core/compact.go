@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// compact is the two-pass compacting collection of §3.2, adjusted for
+// bookmarks per §3.4.1:
+//
+//  1. a marking pass (bookmarked objects as secondary roots) counts live
+//     objects per size class;
+//  2. garbage is swept so target capacity is visible;
+//  3. target superpages are selected: superpages containing bookmarked
+//     objects or evicted pages are forced targets (their objects cannot
+//     move, because evicted pointers to them cannot be updated), then the
+//     most-occupied superpages until capacity covers the movable live
+//     data;
+//  4. a Cheney pass forwards every reachable object not already on a
+//     target into target superpages, evacuating the nursery too;
+//  5. empty non-target superpages are released.
+func (c *BC) compact() {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	done := c.Stats().BeginPause(c.E, metrics.PauseCompact)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().Compactions++
+
+	// Pass 1: mark.
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	c.curWork, c.curEpoch = &work, epoch
+	defer func() { c.curWork = nil }()
+	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
+		c.bookmarkRoots(&work, epoch)
+	}
+	markRoot := func(o objmodel.Ref) {
+		if c.nursery.Contains(o) || c.pageOK(o.Page()) {
+			gc.MarkStep(c.E, &work, o, epoch)
+		}
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) { markRoot(*slot) })
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		if c.nursery.Contains(o) {
+			gc.ScanObject(c.E.Space, c.E.Types, o, func(_ mem.Addr, tgt objmodel.Ref) { markRoot(tgt) })
+			continue
+		}
+		if !c.pageOK(o.Page()) {
+			continue // evicted while queued; covered by its page's processing
+		}
+		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
+			if c.nursery.Contains(tgt) || c.pageOK(tgt.Page()) {
+				gc.MarkStep(c.E, &work, tgt, epoch)
+			}
+		})
+	}
+
+	// Sweep garbage first so target capacity is visible. (Resident-only,
+	// bookmark-respecting via the space's filter and sweep rules.)
+	c.SS.Sweep(epoch)
+	c.LOS.Sweep(epoch, c.pageOK)
+
+	// Pass 2: choose targets and copy.
+	targets := c.chooseTargets()
+	epoch2 := c.NextEpoch()
+	work.Reset()
+	c.curEpoch = epoch2      // mid-pass bookmarks join the copy pass
+	var moved []objmodel.Ref // source blocks, freed after the trace
+	forward := func(o objmodel.Ref) objmodel.Ref {
+		switch {
+		case c.nursery.Contains(o):
+			return c.compactCopy(o, targets, &work, epoch2, nil)
+		case !c.pageOK(o.Page()):
+			return o
+		case c.SS.Contains(o):
+			idx := c.SS.SuperIndex(o)
+			if targets.all[idx] || objmodel.Bookmarked(c.E.Space, o) {
+				// On a target (or unmovable): scan in place, once.
+				gc.MarkStep(c.E, &work, o, epoch2)
+				return o
+			}
+			if objmodel.Forwarded(c.E.Space, o) {
+				return objmodel.ForwardAddr(c.E.Space, o)
+			}
+			return c.compactCopy(o, targets, &work, epoch2, &moved)
+		default: // LOS: never moves
+			gc.MarkStep(c.E, &work, o, epoch2)
+			return o
+		}
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = forward(*slot)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		if !c.pageOK(o.Page()) {
+			continue // evicted while queued; covered by its page's processing
+		}
+		c.scanLive(o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := forward(tgt); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	// Free the vacated blocks only now: releasing a superpage mid-trace
+	// could let the compaction allocator reacquire it and clobber
+	// forwarding words other referrers still need.
+	for _, o := range moved {
+		c.SS.FreeBlock(o)
+	}
+	c.resetNursery()
+	c.resizeNursery()
+	c.maybeRevalidate()
+}
+
+// tkey identifies a (size class, kind) allocation bucket.
+type tkey struct {
+	class int
+	kind  objmodel.Kind
+}
+
+// targetSet is the compaction target selection: the full membership set
+// plus per-bucket lists with an allocation cursor.
+type targetSet struct {
+	all   map[int]bool
+	byKey map[tkey][]int
+	cur   map[tkey]int
+}
+
+// chooseTargets returns the target-superpage set: forced targets
+// (bookmarked objects or evicted pages) plus the most-occupied candidates
+// until free capacity covers the movable live blocks, per size class and
+// kind.
+func (c *BC) chooseTargets() *targetSet {
+	targets := &targetSet{
+		all:   make(map[int]bool),
+		byKey: make(map[tkey][]int),
+		cur:   make(map[tkey]int),
+	}
+	candidates := map[tkey][]int{}
+	liveMovable := map[tkey]int{}
+	capacity := map[tkey]int{}
+
+	c.SS.ForEachSuper(func(idx int, cl objmodel.SizeClass, kind objmodel.Kind) {
+		k := tkey{cl.Index, kind}
+		forced := c.SS.Incoming(idx) > 0 || c.superHasEvicted(idx)
+		if !forced {
+			// A superpage with any bookmarked resident object must not
+			// have that object moved; keeping the whole superpage is the
+			// paper's rule (bookmarked objects reside on targets).
+			c.SS.ForEachObjectIn(idx, func(o objmodel.Ref) {
+				if !forced && c.pageOK(o.Page()) && objmodel.Bookmarked(c.E.Space, o) {
+					forced = true
+				}
+			})
+		}
+		if forced {
+			targets.add(k, idx)
+			capacity[k] += c.SS.FreeResidentBlocks(idx)
+			return
+		}
+		candidates[k] = append(candidates[k], idx)
+		liveMovable[k] += c.SS.Allocated(idx)
+	})
+
+	for k, cands := range candidates {
+		// Most-occupied first: fewest moves, fewest target superpages.
+		sortByAllocatedDesc(c, cands)
+		need := liveMovable[k] - capacity[k]
+		for _, idx := range cands {
+			if need <= 0 {
+				break
+			}
+			targets.add(k, idx)
+			// Blocks already on this target stay; only its free capacity
+			// absorbs movers, and its own blocks stop being movable.
+			need -= c.SS.Allocated(idx) + c.SS.FreeResidentBlocks(idx)
+		}
+	}
+	return targets
+}
+
+func (ts *targetSet) add(k tkey, idx int) {
+	if !ts.all[idx] {
+		ts.all[idx] = true
+		ts.byKey[k] = append(ts.byKey[k], idx)
+	}
+}
+
+func sortByAllocatedDesc(c *BC, idxs []int) {
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && c.SS.Allocated(idxs[j]) > c.SS.Allocated(idxs[j-1]); j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+}
+
+// compactCopy copies a live object (nursery survivor or movable mature
+// object) into a target superpage, leaving a forwarding pointer. When
+// moved is non-nil the source block is queued for freeing after the
+// trace.
+func (c *BC) compactCopy(o objmodel.Ref, targets *targetSet, work *gc.WorkList, epoch2 uint32, moved *[]objmodel.Ref) objmodel.Ref {
+	if objmodel.Forwarded(c.E.Space, o) {
+		return objmodel.ForwardAddr(c.E.Space, o)
+	}
+	t, n := c.E.Types.TypeOf(c.E.Space, o)
+	dst := c.allocForCompaction(t, n, targets)
+	size := int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+	gc.CopyObject(c.E.Space, o, dst, size)
+	objmodel.Forward(c.E.Space, o, dst)
+	objmodel.SetMark(c.E.Space, dst, epoch2)
+	c.markRangeResident(dst, size)
+	work.Push(dst)
+	if moved != nil {
+		*moved = append(*moved, o)
+	}
+	return dst
+}
+
+// allocForCompaction allocates a block on a target superpage of the right
+// class and kind, extending the target set with a fresh superpage if
+// capacity was underestimated (LOS-bound objects never reach here).
+func (c *BC) allocForCompaction(t *objmodel.Type, arrayLen int, targets *targetSet) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	cl, small := c.E.Classes.ForSize(total)
+	if !small {
+		o := c.LOS.Alloc(t, arrayLen)
+		if o == mem.Nil {
+			panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.budget()})
+		}
+		return o
+	}
+	k := tkey{cl.Index, t.Kind}
+	list := targets.byKey[k]
+	for targets.cur[k] < len(list) {
+		idx := list[targets.cur[k]]
+		if o := c.SS.AllocInSuper(idx, t, arrayLen); o != mem.Nil {
+			return o
+		}
+		targets.cur[k]++
+		list = targets.byKey[k] // may have grown
+	}
+	idx := c.SS.AcquireSuper(cl, t.Kind)
+	if idx < 0 {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.budget()})
+	}
+	targets.add(k, idx)
+	o := c.SS.AllocInSuper(idx, t, arrayLen)
+	if o == mem.Nil {
+		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.budget()})
+	}
+	c.markRangeResident(c.SS.SuperBase(idx), mem.SuperSize)
+	return o
+}

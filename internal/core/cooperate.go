@@ -1,0 +1,441 @@
+package core
+
+import (
+	"time"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// bcHandler adapts BC to the vmm.Handler interface. It is a distinct type
+// so the notification entry points are clearly separated from the
+// collector's mutator-facing API.
+type bcHandler BC
+
+// EvictionScheduled implements vmm.Handler — the paper's §3.3–3.4
+// protocol, in order:
+//
+//  1. note that the footprint now exceeds available memory and shrink the
+//     heap target (§3.3.3);
+//  2. if the page must stay (nursery page, superpage header), touch it so
+//     the VMM picks another victim (§3.4);
+//  3. if the page — or any other page — is empty, discard empties instead
+//     (aggressively, a bitmap word at a time, §3.3.2/§3.4.3);
+//  4. otherwise collect, hoping to free pages;
+//  5. otherwise bookmark the victim and relinquish it (§3.4).
+func (h *bcHandler) EvictionScheduled(p mem.PageID) {
+	c := (*BC)(h)
+	c.lastNotify = c.E.Clock.Now()
+	c.shrinkTarget()
+
+	if c.mustKeep(p) {
+		c.E.Proc.Touch(p, false) // veto: a different victim gets scheduled
+		c.giveDiscardables(p)    // still relieve pressure if we can
+		return
+	}
+	if c.discardIfEmpty(p) {
+		return
+	}
+	if c.giveDiscardables(p) > 0 {
+		c.E.Proc.Touch(p, false) // veto the occupied page; we paid in empties
+		return
+	}
+	// No discardable page: request a collection (§3.3.2). The signal can
+	// arrive in the middle of any mutator operation, and a collection
+	// moves objects, so it must wait for the next GC safepoint (Alloc) —
+	// here we can only bookmark, discard, and veto, all non-moving.
+	// Guard against requesting repeatedly with no allocation progress in
+	// between: a mutator that is only reading generates no new garbage.
+	if !c.inGC && c.allocsSinceGC >= 512 {
+		c.allocsSinceGC = 0
+		c.pendingGC = true
+	}
+	if c.cfg.ResizeOnly || !c.booksValid {
+		// Resize-only variant, or bookmark state discarded by a
+		// fail-safe: let the VMM take the page; we only track that it
+		// left.
+		c.noteEvicted(p)
+		return
+	}
+	victim := c.chooseVictim(p)
+	if victim != p {
+		c.E.Proc.Touch(p, false) // veto the scheduled page
+	}
+	c.processAndEvict(victim)
+}
+
+// PageReloaded implements vmm.Handler: a major fault brought the page
+// back (wasEvicted) or the mutator hit the protection BC placed on a
+// scanned page. Either way, access is re-enabled and bookmarks induced by
+// this page are cleared (§3.4.2).
+func (h *bcHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
+	c := (*BC)(h)
+	c.E.Proc.Unprotect(p)
+	if c.evicted.Test(int(p)) {
+		c.evicted.Clear(int(p))
+		c.evictedHeapPg--
+	}
+	c.resident.Set(int(p))
+	if c.processed.Test(int(p)) {
+		c.processed.Clear(int(p))
+		c.unbookmarkPage(p)
+	}
+}
+
+// shrinkTarget limits the heap to the current footprint (§3.3.3). The
+// credit from aggressive discards keeps those voluntary returns from
+// shrinking the target further (§3.4.3).
+func (c *BC) shrinkTarget() {
+	cur := c.resident.Count() + c.discardCredit
+	if cur < c.footprintTarget {
+		c.footprintTarget = cur
+	}
+}
+
+// maybeRegrow (§7 extension, Config.Regrow) raises the footprint target
+// again once the VMM has had free memory for a while.
+func (c *BC) maybeRegrow() {
+	if !c.cfg.Regrow || c.footprintTarget >= c.E.HeapPages {
+		return
+	}
+	if c.E.Clock.Now()-c.lastNotify < 10*time.Millisecond {
+		return
+	}
+	if c.E.Proc.FreeFramesHint() > c.E.HeapPages/8 {
+		c.footprintTarget += c.footprintTarget / 8
+		if c.footprintTarget > c.E.HeapPages {
+			c.footprintTarget = c.E.HeapPages
+		}
+		c.resizeNursery()
+	}
+}
+
+// mustKeep reports whether p must not be evicted: nursery pages the
+// allocator is about to reuse, in-use superpage headers (whose metadata
+// must stay resident for constant-time access, §3.4), and — a soundness
+// addition — mature pages holding pointers into the nursery, which the
+// next nursery collection must update.
+func (c *BC) mustKeep(p mem.PageID) bool {
+	a := mem.PageAddr(p)
+	if c.nursery.Contains(a) {
+		return a < c.nursery.Base()+mem.Addr(c.nursery.Budget())
+	}
+	if c.SS.Contains(a) {
+		idx := c.SS.SuperIndex(a)
+		if !c.SS.Used(idx) {
+			return false
+		}
+		if c.SS.HeaderPage(idx) == p {
+			return true
+		}
+		return c.pageHasNurseryPointer(p, idx)
+	}
+	return false
+}
+
+// pageHasNurseryPointer scans p's objects for nursery references,
+// memoizing the verdict (invalidated by nursery-pointer stores and
+// dropped whenever the nursery empties).
+func (c *BC) pageHasNurseryPointer(p mem.PageID, idx int) bool {
+	if v, ok := c.nurseryPtrCache[p]; ok {
+		return v
+	}
+	found := false
+	c.SS.ObjectsOverlappingPage(idx, p, func(o objmodel.Ref) {
+		if found || !c.pageOK(o.Page()) {
+			return
+		}
+		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
+			if c.nursery.Contains(tgt) {
+				found = true
+			}
+		})
+	})
+	c.nurseryPtrCache[p] = found
+	return found
+}
+
+// discardIfEmpty gives page p back via madvise if it holds no live data.
+func (c *BC) discardIfEmpty(p mem.PageID) bool {
+	if !c.pageDiscardable(p) {
+		return false
+	}
+	c.discardPage(p)
+	return true
+}
+
+// pageDiscardable reports whether p is resident and holds no live data.
+func (c *BC) pageDiscardable(p mem.PageID) bool {
+	if c.cfg.debugNoDiscard {
+		return false
+	}
+	if !c.resident.Test(int(p)) || c.evicted.Test(int(p)) {
+		return false
+	}
+	a := mem.PageAddr(p)
+	switch {
+	case c.nursery.Contains(a):
+		return a >= c.nursery.Frontier()
+	case c.SS.Contains(a):
+		return !c.SS.Used(c.SS.SuperIndex(a))
+	case c.LOS.Contains(a):
+		return c.LOS.IsFreePage(p)
+	}
+	return false
+}
+
+// discardPage returns one page to the VMM.
+func (c *BC) discardPage(p mem.PageID) {
+	c.E.Proc.Discard(p)
+	c.resident.Clear(int(p))
+	c.processed.Clear(int(p))
+}
+
+// giveDiscardables finds empty resident pages and discards them. It
+// discards every empty page recorded in the same residency-bitmap word as
+// the first one it finds (§3.4.3), crediting the extras so the footprint
+// target does not over-shrink. Returns the number discarded. exclude is
+// the page currently under notification (handled by the caller).
+func (c *BC) giveDiscardables(exclude mem.PageID) int {
+	// Rotating cursor: discardable pages cluster (freed superpages, the
+	// nursery tail), so resuming where the last scan stopped keeps each
+	// notification O(found) instead of O(heap).
+	first := -1
+	limit := c.resident.Len()
+	scan := func(from, to int) {
+		for i := c.resident.NextSet(from); i >= 0 && i < to; i = c.resident.NextSet(i + 1) {
+			if mem.PageID(i) != exclude && c.pageDiscardable(mem.PageID(i)) {
+				first = i
+				return
+			}
+		}
+	}
+	scan(c.discardCursor, limit)
+	if first < 0 && c.discardCursor > 0 {
+		scan(0, c.discardCursor)
+	}
+	if first < 0 {
+		c.discardCursor = 0
+		return 0
+	}
+	c.discardCursor = first + 1
+	if c.cfg.NoAggressiveDiscard {
+		c.discardPage(mem.PageID(first))
+		return 1
+	}
+	n := 0
+	for _, i := range c.resident.SetBitsInWord(first) {
+		if mem.PageID(i) != exclude && c.pageDiscardable(mem.PageID(i)) {
+			c.discardPage(mem.PageID(i))
+			n++
+		}
+	}
+	if n > 1 {
+		c.discardCredit += n - 1
+	}
+	return n
+}
+
+// chooseVictim applies the configured victim policy (§7). With the
+// pointer-free preference, a sampled resident mature data page without
+// outgoing pointers is evicted instead of the LRU choice.
+func (c *BC) chooseVictim(p mem.PageID) mem.PageID {
+	if c.cfg.Victim != VictimPreferPointerFree || !c.pagePointerCount(p) {
+		return p
+	}
+	// The LRU choice has pointers; sample forward through the mature
+	// region for a pointer-free resident page.
+	if c.SS.Contains(mem.PageAddr(p)) {
+		start := c.SS.SuperIndex(mem.PageAddr(p))
+		for off := 1; off <= 16; off++ {
+			idx := start + off
+			if idx >= c.SS.HighWater() || !c.SS.Used(idx) {
+				continue
+			}
+			first, last := c.SS.PagesOf(idx)
+			for q := first + 1; q <= last; q++ { // skip header page
+				if c.resident.Test(int(q)) && !c.evicted.Test(int(q)) &&
+					!c.pagePointerCount(q) && !c.mustKeep(q) {
+					return q
+				}
+			}
+		}
+	}
+	return p
+}
+
+// pagePointerCount reports whether p contains any non-nil pointer.
+func (c *BC) pagePointerCount(p mem.PageID) bool {
+	a := mem.PageAddr(p)
+	if !c.SS.Contains(a) {
+		return true // treat non-mature pages as pointer-bearing
+	}
+	idx := c.SS.SuperIndex(a)
+	if !c.SS.Used(idx) {
+		return false
+	}
+	any := false
+	c.SS.ObjectsOverlappingPage(idx, p, func(o objmodel.Ref) {
+		if any || !c.pageOK(o.Page()) {
+			return
+		}
+		c.scanLive(o, func(_ mem.Addr, _ objmodel.Ref) { any = true })
+	})
+	return any
+}
+
+// noteEvicted updates BC's books for a page that is leaving memory.
+func (c *BC) noteEvicted(p mem.PageID) {
+	if c.resident.Test(int(p)) {
+		c.resident.Clear(int(p))
+	}
+	if !c.evicted.Test(int(p)) {
+		c.evicted.Set(int(p))
+		c.evictedHeapPg++
+	}
+}
+
+// processAndEvict is the heart of §3.4: scan the victim page, bookmark
+// the targets of its outgoing references and raise their superpages'
+// incoming counters, conservatively bookmark the page's own objects,
+// protect the page against the eviction race, record the books, and
+// relinquish the page to the VMM.
+func (c *BC) processAndEvict(p mem.PageID) {
+	rec := &pageRecord{}
+	seenSuper := map[int32]bool{}
+	seenLOS := map[objmodel.Ref]bool{}
+
+	bookmarkTarget := func(tgt objmodel.Ref) {
+		// The bookmark bit can be set only if the target's page is
+		// accessible; a target on an evicted page already carries the
+		// conservative bookmark from its own page's eviction. The
+		// incoming counter, however, lives in the always-resident
+		// superpage header and must be raised either way — it is what
+		// keeps the conservative bookmarks alive when the target's page
+		// reloads while this page is still out (§3.4.2).
+		switch {
+		case c.SS.Contains(tgt):
+			if c.pageOK(tgt.Page()) {
+				objmodel.SetBookmark(c.E.Space, tgt)
+				c.Stats().Bookmarked++
+				if c.curWork != nil {
+					// A collection is in progress: the new bookmark must
+					// join its mark, or children reachable only through
+					// the departing page would be swept.
+					gc.MarkStep(c.E, c.curWork, tgt, c.curEpoch)
+				}
+			}
+			idx := int32(c.SS.SuperIndex(tgt))
+			if !seenSuper[idx] {
+				seenSuper[idx] = true
+				c.SS.IncIncoming(int(idx))
+				rec.supers = append(rec.supers, idx)
+			}
+		case c.LOS.Contains(tgt):
+			if o, ok := c.LOS.ObjectContaining(tgt); ok {
+				if c.pageOK(o.Page()) {
+					objmodel.SetBookmark(c.E.Space, o)
+					c.Stats().Bookmarked++
+					if c.curWork != nil {
+						gc.MarkStep(c.E, c.curWork, o, c.curEpoch)
+					}
+				}
+				if !seenLOS[o] {
+					seenLOS[o] = true
+					c.losIncoming[o]++
+					rec.los = append(rec.los, o)
+				}
+			}
+		}
+	}
+	c.forEachObjectOverlapping(p, func(o objmodel.Ref) {
+		if !c.pageOK(o.Page()) {
+			return // header already evicted; edges were recorded then
+		}
+		objmodel.SetBookmark(c.E.Space, o) // conservative (§3.4)
+		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
+			bookmarkTarget(tgt)
+		})
+	})
+
+	if len(rec.supers) > 0 || len(rec.los) > 0 {
+		c.pageTargets[p] = rec
+	}
+	c.processed.Set(int(p))
+	c.noteEvicted(p)
+	c.Stats().PagesEvicted++
+	c.E.Proc.Protect(p)
+	c.E.Proc.Relinquish([]mem.PageID{p})
+}
+
+// forEachObjectOverlapping visits live objects whose extent overlaps p.
+func (c *BC) forEachObjectOverlapping(p mem.PageID, fn func(o objmodel.Ref)) {
+	a := mem.PageAddr(p)
+	switch {
+	case c.SS.Contains(a):
+		idx := c.SS.SuperIndex(a)
+		if c.SS.Used(idx) {
+			c.SS.ObjectsOverlappingPage(idx, p, fn)
+		}
+	case c.LOS.Contains(a):
+		if o, ok := c.LOS.ObjectContaining(a); ok {
+			fn(o)
+		}
+	}
+}
+
+// unbookmarkPage undoes what processAndEvict recorded for p: decrement
+// the incoming counters it raised, clear bookmarks on superpages whose
+// count drops to zero, and clear the conservative bookmarks on p itself
+// if its own superpage has no incoming bookmarks (§3.4.2).
+func (c *BC) unbookmarkPage(p mem.PageID) {
+	if rec, ok := c.pageTargets[p]; ok {
+		delete(c.pageTargets, p)
+		for _, idx := range rec.supers {
+			if c.SS.Used(int(idx)) && c.SS.DecIncoming(int(idx)) == 0 {
+				c.clearSuperBookmarks(int(idx))
+			}
+		}
+		for _, o := range rec.los {
+			if n := c.losIncoming[o] - 1; n > 0 {
+				c.losIncoming[o] = n
+			} else {
+				delete(c.losIncoming, o)
+				if c.pageOK(o.Page()) {
+					objmodel.ClearBookmark(c.E.Space, o)
+				}
+			}
+		}
+	}
+	// Conservative bookmarks on the reloaded page itself.
+	a := mem.PageAddr(p)
+	switch {
+	case c.SS.Contains(a):
+		idx := c.SS.SuperIndex(a)
+		if c.SS.Used(idx) && c.SS.Incoming(idx) == 0 {
+			c.SS.ObjectsOverlappingPage(idx, p, func(o objmodel.Ref) {
+				if c.pageOK(o.Page()) {
+					objmodel.ClearBookmark(c.E.Space, o)
+				}
+			})
+		}
+	case c.LOS.Contains(a):
+		if o, ok := c.LOS.ObjectContaining(a); ok {
+			if c.losIncoming[o] == 0 && c.pageOK(o.Page()) {
+				objmodel.ClearBookmark(c.E.Space, o)
+			}
+		}
+	}
+}
+
+// clearSuperBookmarks clears bookmarks on superpage idx's resident
+// objects once no evicted page points into it. Objects on its own evicted
+// pages keep their conservative bookmarks until those pages reload.
+func (c *BC) clearSuperBookmarks(idx int) {
+	c.SS.ForEachObjectIn(idx, func(o objmodel.Ref) {
+		if c.pageOK(o.Page()) {
+			objmodel.ClearBookmark(c.E.Space, o)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+)
+
+// failSafe preserves completeness (§3.5): when the heap is exhausted and
+// bookmarks may be keeping garbage alive, BC discards every bookmark and
+// performs an ordinary full-heap collection that touches evicted pages —
+// the worst case for BC, and the common case for every other collector.
+// The page faults this takes are charged to the pause like any other.
+func (c *BC) failSafe() {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
+	defer done()
+	gc.PauseClock(c.E, gc.PauseOverhead)
+	c.Stats().FailSafe++
+	c.Stats().Full++
+	c.booksValid = false
+
+	// Discard every bookmark and incoming count. Clearing a bookmark on
+	// an evicted page touches it — that is the point of the fail-safe.
+	// The books are zeroed first so the reloads triggered below do not
+	// try to rebalance counters.
+	c.pageTargets = make(map[mem.PageID]*pageRecord)
+	c.processed.ClearAll()
+	for _, o := range c.sortedLOSBookmarks() {
+		delete(c.losIncoming, o)
+		objmodel.ClearBookmark(c.E.Space, o)
+	}
+	c.SS.ForEachSuper(func(idx int, _ objmodel.SizeClass, _ objmodel.Kind) {
+		if c.SS.Incoming(idx) > 0 {
+			c.SS.SetIncoming(idx, 0)
+		}
+		c.SS.ForEachObjectIn(idx, func(o objmodel.Ref) {
+			if objmodel.Bookmarked(c.E.Space, o) {
+				objmodel.ClearBookmark(c.E.Space, o)
+			}
+		})
+	})
+
+	// An ordinary full-heap mark-sweep, following every reference. The
+	// residency filter is bypassed by lifting the evicted view: reloads
+	// driven by the trace update the bitmaps through the handler.
+	epoch := c.NextEpoch()
+	var work gc.WorkList
+	forward := func(o objmodel.Ref) objmodel.Ref {
+		if c.nursery.Contains(o) {
+			dst := c.copyToMature(o, &work)
+			objmodel.SetMark(c.E.Space, dst, epoch)
+			return dst
+		}
+		gc.MarkStep(c.E, &work, o, epoch)
+		return o
+	}
+	c.Roots().ForEach(func(slot *mem.Addr) {
+		*slot = forward(*slot)
+	})
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			break
+		}
+		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
+			if nw := forward(tgt); nw != tgt {
+				c.E.Space.WriteAddr(slot, nw)
+			}
+		})
+	}
+	// Sweep everything, residency regardless.
+	c.SS.SetResidencyFilter(nil)
+	c.SS.Sweep(epoch)
+	c.SS.SetResidencyFilter(c.pageOK)
+	c.LOS.Sweep(epoch, nil)
+	c.resetNursery()
+	c.resizeNursery()
+	c.maybeRevalidate()
+}

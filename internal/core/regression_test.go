@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/gc"
+)
+
+// TestChurnUnderPressureVariants is a regression test for two bugs found
+// during bring-up: (1) the eviction handler triggering a moving
+// collection outside a GC safepoint corrupted raw references the mutator
+// held across operations; (2) skipping the incoming-counter increment for
+// bookmark targets on already-evicted pages let conservative bookmarks be
+// cleared too early. It churns linked lists under severe pressure in
+// three configurations and verifies every list survives intact.
+func TestChurnUnderPressureVariants(t *testing.T) {
+	for _, mode := range []string{"resizeonly-nodiscard", "resizeonly", "bc"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := Config{}
+			if mode != "bc" {
+				cfg.ResizeOnly = true
+			}
+			if mode == "resizeonly-nodiscard" {
+				cfg.debugNoDiscard = true
+			}
+			v, c, node, _, _ := newBC(t, 48, 10, cfg)
+			head := buildList(c, node, 60000, 19)
+			c.Collect(true)
+			pressurize(v, 150)
+			for round := 0; round < 3; round++ {
+				tmp := buildList(c, node, 30000, uint64(round))
+				checkList(t, c, tmp, 30000, uint64(round))
+				c.Roots().Release(tmp)
+			}
+			checkList(t, c, head, 60000, 19)
+		})
+	}
+}
+
+// TestBCOutOfMemory verifies the configured heap is a hard ceiling: live
+// data beyond it panics with ErrOutOfMemory after the whole escalation
+// ladder (nursery, full, compaction, fail-safe) is exhausted.
+func TestBCOutOfMemory(t *testing.T) {
+	_, c, node, _, _ := newBC(t, 512, 2, Config{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected ErrOutOfMemory")
+		}
+		if _, ok := r.(gc.ErrOutOfMemory); !ok {
+			panic(r)
+		}
+	}()
+	head := c.Roots().Add(c.Alloc(node, 0))
+	for {
+		o := c.Alloc(node, 0)
+		c.WriteRef(o, 0, c.Roots().Get(head))
+		c.Roots().Set(head, o)
+	}
+}

@@ -1,0 +1,153 @@
+package gc
+
+import (
+	"time"
+
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// PauseOverhead is the fixed per-collection cost (thread stopping, root
+// enumeration setup) charged to the simulated clock.
+const PauseOverhead = 100 * time.Microsecond
+
+// MinNurseryPages is the smallest useful nursery; when Appel-style sizing
+// would go below it, a full collection runs instead.
+const MinNurseryPages = 64 // 256 KB
+
+// Base carries the plumbing every collector shares: environment, roots,
+// statistics, the mark epoch, and barrier-free object access.
+type Base struct {
+	E     *Env
+	roots Roots
+	stats Stats
+	epoch uint32
+}
+
+// Roots implements the corresponding Collector method.
+func (b *Base) Roots() *Roots { return &b.roots }
+
+// Stats implements the corresponding Collector method.
+func (b *Base) Stats() *Stats { return &b.stats }
+
+// Env implements the corresponding Collector method.
+func (b *Base) Env() *Env { return b.E }
+
+// CountAlloc records an allocation in the stats.
+func (b *Base) CountAlloc(t *objmodel.Type, arrayLen int) {
+	b.stats.BytesAlloc += uint64(t.TotalBytes(arrayLen))
+	b.stats.ObjectsAlloc++
+}
+
+// ReadRefRaw loads reference slot i of o with no barrier.
+func (b *Base) ReadRefRaw(o objmodel.Ref, i int) objmodel.Ref {
+	t, _ := b.E.Types.TypeOf(b.E.Space, o)
+	return b.E.Space.ReadAddr(t.RefSlotAddr(o, i))
+}
+
+// WriteRefRaw stores into reference slot i of o with no barrier and
+// returns the slot address (for barriers layered above).
+func (b *Base) WriteRefRaw(o objmodel.Ref, i int, v objmodel.Ref) mem.Addr {
+	t, _ := b.E.Types.TypeOf(b.E.Space, o)
+	slot := t.RefSlotAddr(o, i)
+	b.E.Space.WriteAddr(slot, v)
+	return slot
+}
+
+// DataAddr returns the address of payload word d of o.
+func DataAddr(o objmodel.Ref, d int) mem.Addr {
+	return objmodel.Payload(o) + mem.Addr(d)*mem.WordSize
+}
+
+// ReadData implements the corresponding Collector method.
+func (b *Base) ReadData(o objmodel.Ref, d int) uint64 {
+	return b.E.Space.ReadWord(DataAddr(o, d))
+}
+
+// WriteData implements the corresponding Collector method.
+func (b *Base) WriteData(o objmodel.Ref, d int, v uint64) {
+	b.E.Space.WriteWord(DataAddr(o, d), v)
+}
+
+// NextEpoch advances the mark epoch, skipping zero (the "never marked"
+// value fresh headers carry).
+func (b *Base) NextEpoch() uint32 {
+	b.epoch++
+	if b.epoch == 0 || b.epoch > objmodel.MaxEpoch {
+		b.epoch = 1
+	}
+	return b.epoch
+}
+
+// Epoch returns the current mark epoch.
+func (b *Base) Epoch() uint32 { return b.epoch }
+
+// Mature bundles the mark-sweep superpage space and the LOS shared by
+// MarkSweep, CopyMS, GenMS, and the bookmarking collector.
+type Mature struct {
+	SS  *heap.SuperSpace
+	LOS *heap.LOS
+}
+
+// NewMature builds the mature spaces over env's layout.
+func NewMature(env *Env) Mature {
+	return Mature{
+		SS:  heap.NewSuperSpace(env.Space, env.Classes, env.Layout.MatureBase, env.Layout.MatureEnd),
+		LOS: heap.NewLOS(env.Space, env.Layout.LOSBase, env.Layout.LOSEnd),
+	}
+}
+
+// MatureUsedPages is the page footprint of the mature spaces.
+func (m *Mature) MatureUsedPages() int { return m.SS.UsedPages() + m.LOS.UsedPages() }
+
+// AllocMature places an object into the segregated-fit space or the LOS,
+// acquiring superpages as needed, keeping the total footprint (mature +
+// extraUsed) within budget pages. Returns mem.Nil when that would exceed
+// the budget or space is exhausted.
+func (m *Mature) AllocMature(env *Env, t *objmodel.Type, arrayLen int, budget int, extraUsed int) objmodel.Ref {
+	total := t.TotalBytes(arrayLen)
+	cl, small := env.Classes.ForSize(total)
+	if !small {
+		pages := int(mem.RoundUpPage(uint64(total)) / mem.PageSize)
+		if m.MatureUsedPages()+extraUsed+pages > budget {
+			return mem.Nil
+		}
+		return m.LOS.Alloc(t, arrayLen)
+	}
+	if o := m.SS.Alloc(t, arrayLen, cl); o != mem.Nil {
+		return o
+	}
+	if m.MatureUsedPages()+extraUsed+mem.SuperPages > budget {
+		return mem.Nil
+	}
+	if m.SS.AcquireSuper(cl, t.Kind) < 0 {
+		return mem.Nil
+	}
+	return m.SS.Alloc(t, arrayLen, cl)
+}
+
+// MarkStep marks target in epoch if unmarked and pushes it for scanning.
+func MarkStep(env *Env, work *WorkList, target objmodel.Ref, epoch uint32) {
+	if !objmodel.Marked(env.Space, target, epoch) {
+		objmodel.SetMark(env.Space, target, epoch)
+		work.Push(target)
+	}
+}
+
+// MarkTrace drains the worklist, scanning each object and marking its
+// targets. follow filters which targets to pursue (nil = all).
+func MarkTrace(env *Env, work *WorkList, epoch uint32, follow func(objmodel.Ref) bool) {
+	for {
+		o, ok := work.Pop()
+		if !ok {
+			return
+		}
+		ScanObject(env.Space, env.Types, o, func(_ mem.Addr, tgt objmodel.Ref) {
+			if follow != nil && !follow(tgt) {
+				return
+			}
+			MarkStep(env, work, tgt, epoch)
+		})
+	}
+}

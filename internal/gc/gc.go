@@ -1,0 +1,225 @@
+// Package gc provides the runtime glue every collector is built on: the
+// collector interface the mutator programs against, the root registry,
+// object scanning, generational remembered sets (write buffers filtered
+// into a card table, §3.1 of the paper), pause accounting, and the shared
+// environment (address space, VMM process, type table, size classes).
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/vmm"
+)
+
+// Env is everything a collector needs from its surroundings. One Env
+// corresponds to one simulated JVM process.
+type Env struct {
+	Proc    *vmm.Proc
+	Space   *mem.Space
+	Clock   *vmm.Clock
+	Types   *objmodel.Table
+	Classes *objmodel.Classes
+	Layout  heap.Layout
+
+	// HeapPages is the collector's page budget — the "heap size" of the
+	// paper's experiments. Collectors trigger collection to stay within
+	// it; BC additionally shrinks it under memory pressure (§3.3.3).
+	HeapPages int
+}
+
+// NewEnv wires a process-wide environment for a heap of heapBytes.
+func NewEnv(v *vmm.VMM, name string, heapBytes uint64) *Env {
+	layout := heap.NewLayout(heapBytes)
+	proc := v.NewProc(name, layout.Total)
+	return &Env{
+		Proc:      proc,
+		Space:     proc.Space(),
+		Clock:     v.Clock,
+		Types:     objmodel.NewTable(),
+		Classes:   objmodel.BuildClasses(),
+		Layout:    layout,
+		HeapPages: int(mem.RoundUpPage(heapBytes) / mem.PageSize),
+	}
+}
+
+// Collector is the interface the mutator programs against. All object
+// access flows through it so each collector can interpose its barriers
+// and so every access is charged to the simulated clock.
+type Collector interface {
+	// Name identifies the collector ("BC", "GenMS", ...).
+	Name() string
+	// Alloc allocates and initializes an object, collecting if needed.
+	// It panics with ErrOutOfMemory if the heap budget cannot hold the
+	// live data.
+	Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref
+	// ReadRef loads the i-th reference slot of o.
+	ReadRef(o objmodel.Ref, i int) objmodel.Ref
+	// WriteRef stores v into the i-th reference slot of o, applying the
+	// collector's write barrier.
+	WriteRef(o objmodel.Ref, i int, v objmodel.Ref)
+	// ReadData / WriteData access the d-th non-reference payload word;
+	// the mutator uses them to model application work on live objects.
+	ReadData(o objmodel.Ref, d int) uint64
+	WriteData(o objmodel.Ref, d int, v uint64)
+	// Collect forces a collection (full-heap if full is true).
+	Collect(full bool)
+	// Roots exposes the root registry (mutator locals and statics).
+	Roots() *Roots
+	// Stats exposes pause and collection counters.
+	Stats() *Stats
+	// Env exposes the shared environment.
+	Env() *Env
+	// UsedPages reports the heap footprint in pages as the collector
+	// accounts it (used by the harness and the sizing policies).
+	UsedPages() int
+}
+
+// ErrOutOfMemory is the panic value when live data exceeds the budget.
+type ErrOutOfMemory struct {
+	Collector string
+	HeapPages int
+	Detail    string
+}
+
+func (e ErrOutOfMemory) Error() string {
+	s := fmt.Sprintf("%s: out of memory (heap budget %d pages)", e.Collector, e.HeapPages)
+	if e.Detail != "" {
+		s += " [" + e.Detail + "]"
+	}
+	return s
+}
+
+// Stats aggregates a collector's activity.
+type Stats struct {
+	Timeline     metrics.Timeline
+	BytesAlloc   uint64
+	ObjectsAlloc uint64
+	Nursery      uint64 // nursery collections
+	Full         uint64 // full-heap collections
+	Compactions  uint64
+	Bookmarked   uint64 // objects bookmarked (BC)
+	PagesEvicted uint64 // heap pages processed for eviction (BC)
+	FailSafe     uint64 // completeness fail-safe collections (BC)
+}
+
+// BeginPause starts a stop-the-world interval; call the returned func at
+// the end of the collection. Major faults taken during the pause are
+// attributed to it.
+func (st *Stats) BeginPause(env *Env, kind metrics.PauseKind) func() {
+	start := env.Clock.Now()
+	faults := env.Proc.Stats().MajorFaults
+	return func() {
+		st.Timeline.Record(metrics.Pause{
+			Start:       start,
+			Dur:         env.Clock.Now() - start,
+			Kind:        kind,
+			MajorFaults: env.Proc.Stats().MajorFaults - faults,
+		})
+	}
+}
+
+// Roots is the registry of mutator-visible reference slots (locals,
+// globals). Moving collectors update slots in place; the mutator holds
+// stable slot indices. A zero slot holds mem.Nil.
+type Roots struct {
+	slots []mem.Addr
+	free  []int32
+}
+
+// Add registers a root holding o and returns its slot index.
+func (r *Roots) Add(o mem.Addr) int {
+	if n := len(r.free); n > 0 {
+		i := int(r.free[n-1])
+		r.free = r.free[:n-1]
+		r.slots[i] = o
+		return i
+	}
+	r.slots = append(r.slots, o)
+	return len(r.slots) - 1
+}
+
+// Get returns the object in slot i.
+func (r *Roots) Get(i int) mem.Addr { return r.slots[i] }
+
+// Set overwrites slot i.
+func (r *Roots) Set(i int, o mem.Addr) { r.slots[i] = o }
+
+// Release frees slot i for reuse.
+func (r *Roots) Release(i int) {
+	r.slots[i] = mem.Nil
+	r.free = append(r.free, int32(i))
+}
+
+// Len returns the number of slots ever created.
+func (r *Roots) Len() int { return len(r.slots) }
+
+// ForEach visits every non-nil root slot; fn may update the slot (moving
+// collectors forward roots through this).
+func (r *Roots) ForEach(fn func(slot *mem.Addr)) {
+	for i := range r.slots {
+		if r.slots[i] != mem.Nil {
+			fn(&r.slots[i])
+		}
+	}
+}
+
+// ScanObject visits each reference slot of o, reporting the slot address
+// and current target (skipping nil). It reads the object's header and
+// fields through the space, touching pages exactly as a real scan does.
+func ScanObject(s *mem.Space, types *objmodel.Table, o objmodel.Ref, fn func(slot mem.Addr, target objmodel.Ref)) {
+	t, n := types.TypeOf(s, o)
+	for i := 0; i < t.NumRefSlots(n); i++ {
+		slot := t.RefSlotAddr(o, i)
+		if tgt := s.ReadAddr(slot); tgt != mem.Nil {
+			fn(slot, tgt)
+		}
+	}
+}
+
+// ObjectBytes returns o's total size (header included), word-rounded.
+func ObjectBytes(s *mem.Space, types *objmodel.Table, o objmodel.Ref) int {
+	t, n := types.TypeOf(s, o)
+	return int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+}
+
+// CopyObject copies o (size bytes total) to dst word by word, through the
+// space, so both pages are touched like a real copy.
+func CopyObject(s *mem.Space, o, dst objmodel.Ref, totalBytes int) {
+	for off := mem.Addr(0); off < mem.Addr(totalBytes); off += mem.WordSize {
+		s.WriteWord(dst+off, s.ReadWord(o+off))
+	}
+}
+
+// WorkList is a simple gray stack used by all tracing loops.
+type WorkList struct {
+	items []objmodel.Ref
+}
+
+// Push adds an object to trace.
+func (w *WorkList) Push(o objmodel.Ref) { w.items = append(w.items, o) }
+
+// Pop removes and returns the most recent object; ok is false when empty.
+func (w *WorkList) Pop() (objmodel.Ref, bool) {
+	n := len(w.items)
+	if n == 0 {
+		return mem.Nil, false
+	}
+	o := w.items[n-1]
+	w.items = w.items[:n-1]
+	return o, true
+}
+
+// Len returns the number of pending objects.
+func (w *WorkList) Len() int { return len(w.items) }
+
+// Reset empties the list, retaining capacity.
+func (w *WorkList) Reset() { w.items = w.items[:0] }
+
+// PauseClock charges fixed per-collection overhead (root scanning, signal
+// handling, bookkeeping) to the simulated clock.
+func PauseClock(env *Env, d time.Duration) { env.Clock.Advance(d) }

@@ -1,0 +1,122 @@
+package heap
+
+import (
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// BumpSpace is a contiguous bump-pointer allocation region: the nursery
+// of the generational collectors, and both semispaces of the copying
+// collectors. Its effective size can be bounded below the region's
+// virtual capacity (Appel-style variable nurseries shrink it as the
+// mature space grows; fixed-nursery variants clamp it).
+type BumpSpace struct {
+	s     *mem.Space
+	base  mem.Addr
+	end   mem.Addr // hard end of the virtual region
+	limit mem.Addr // current soft limit (base + size budget)
+	cur   mem.Addr
+
+	objects int // live allocation count since last Reset (diagnostic)
+}
+
+// NewBumpSpace creates a bump space over [base, end).
+func NewBumpSpace(s *mem.Space, base, end mem.Addr) *BumpSpace {
+	return &BumpSpace{s: s, base: base, end: end, limit: end, cur: base}
+}
+
+// SetBudget bounds the space to n bytes (rounded up to a page); the
+// region's virtual capacity is the upper bound.
+func (b *BumpSpace) SetBudget(n uint64) {
+	limit := b.base + mem.Addr(mem.RoundUpPage(n))
+	if limit > b.end {
+		limit = b.end
+	}
+	b.limit = limit
+}
+
+// Budget returns the current byte budget.
+func (b *BumpSpace) Budget() uint64 { return uint64(b.limit - b.base) }
+
+// Alloc carves an uninitialized object of totalBytes (header included).
+// It returns mem.Nil when the space is full; the caller must collect.
+// The new object's header is initialized and its payload zeroed (fresh
+// pages read as zero, but recycled semispace memory does not).
+func (b *BumpSpace) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	total := mem.Addr(mem.RoundUpWord(uint64(t.TotalBytes(arrayLen))))
+	if b.cur+total > b.limit {
+		return mem.Nil
+	}
+	o := b.cur
+	b.cur += total
+	b.objects++
+	objmodel.ClearStatus(b.s, o)
+	objmodel.SetTypeWord(b.s, o, t.ID, arrayLen)
+	b.s.ZeroRange(objmodel.Payload(o), uint64(total)-objmodel.HeaderBytes)
+	return o
+}
+
+// AllocRaw carves totalBytes (word-rounded) without initializing them;
+// copying collectors overwrite the block wholesale. Returns mem.Nil when
+// the space is full.
+func (b *BumpSpace) AllocRaw(totalBytes int) mem.Addr {
+	total := mem.Addr(mem.RoundUpWord(uint64(totalBytes)))
+	if b.cur+total > b.limit {
+		return mem.Nil
+	}
+	o := b.cur
+	b.cur += total
+	b.objects++
+	return o
+}
+
+// Reset empties the space for reuse (a nursery collection or a semispace
+// flip). Pages are deliberately not returned to the VM: as in MMTk, dead
+// nursery pages stay mapped and drift down the LRU queues — the behaviour
+// the paper identifies as a paging liability (§5.3.2).
+func (b *BumpSpace) Reset() {
+	b.cur = b.base
+	b.objects = 0
+}
+
+// Contains reports whether a lies in the space's region.
+func (b *BumpSpace) Contains(a mem.Addr) bool { return a >= b.base && a < b.end }
+
+// ContainsAllocated reports whether a lies below the allocation frontier.
+func (b *BumpSpace) ContainsAllocated(a mem.Addr) bool { return a >= b.base && a < b.cur }
+
+// Base returns the first address of the region.
+func (b *BumpSpace) Base() mem.Addr { return b.base }
+
+// Frontier returns the current allocation pointer.
+func (b *BumpSpace) Frontier() mem.Addr { return b.cur }
+
+// UsedBytes returns bytes allocated since the last Reset.
+func (b *BumpSpace) UsedBytes() uint64 { return uint64(b.cur - b.base) }
+
+// UsedPages returns the number of pages at or below the frontier.
+func (b *BumpSpace) UsedPages() int {
+	return int(mem.RoundUpPage(uint64(b.cur-b.base)) / mem.PageSize)
+}
+
+// Objects returns the number of objects allocated since the last Reset.
+func (b *BumpSpace) Objects() int { return b.objects }
+
+// Pages returns the page IDs of the region up to the frontier.
+func (b *BumpSpace) Pages() (first, last mem.PageID) {
+	if b.cur == b.base {
+		return b.base.Page(), b.base.Page()
+	}
+	return b.base.Page(), (b.cur - 1).Page()
+}
+
+// ForEachObject walks the allocated objects in address order. The walk
+// reads each object's header to find the next, touching pages as a real
+// linear scan would. types resolves object sizes.
+func (b *BumpSpace) ForEachObject(types *objmodel.Table, fn func(o objmodel.Ref)) {
+	for a := b.base; a < b.cur; {
+		t, n := types.TypeOf(b.s, a)
+		fn(a)
+		a += mem.Addr(mem.RoundUpWord(uint64(t.TotalBytes(n))))
+	}
+}

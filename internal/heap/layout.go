@@ -1,0 +1,79 @@
+// Package heap provides the spaces collectors are composed from: a
+// bump-pointer space (nurseries and copying semispaces), the superpage-
+// organized segregated-fit mature space of the paper (§3), and a
+// page-granularity large object space.
+//
+// Every space operates on the process's simulated address space, so all
+// allocation, tracing, and sweeping activity touches pages through the
+// virtual memory manager.
+package heap
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+)
+
+// Layout carves a process's virtual address space into fixed regions.
+// Regions are virtual reservations: physical frames are consumed only
+// when pages are touched. Two bump regions are reserved so semispace
+// collectors can flip without remapping.
+type Layout struct {
+	Bump0Base, Bump0End   mem.Addr // nursery / from-space
+	Bump1Base, Bump1End   mem.Addr // to-space (copying collectors only)
+	MatureBase, MatureEnd mem.Addr // superpage area
+	LOSBase, LOSEnd       mem.Addr // large object space
+	Total                 uint64   // bytes of address space needed
+}
+
+// NewLayout sizes a layout for a target maximum heap of heapBytes.
+// Each region individually is large enough to hold the whole heap (plus
+// headroom for the mature space, which also pays superpage metadata and
+// fragmentation), so any collector composition fits.
+func NewLayout(heapBytes uint64) Layout {
+	h := mem.RoundUpPage(heapBytes)
+	if h == 0 {
+		panic("heap: zero heap size")
+	}
+	align := func(a mem.Addr) mem.Addr {
+		return mem.Addr(mem.RoundUpPage(uint64(a)+mem.SuperSize-1)) &^ (mem.SuperSize - 1)
+	}
+	var l Layout
+	cursor := mem.Addr(mem.SuperSize) // skip null page (superpage-aligned)
+	l.Bump0Base = cursor
+	cursor = align(cursor + mem.Addr(h))
+	l.Bump0End = cursor
+	l.Bump1Base = cursor
+	cursor = align(cursor + mem.Addr(2*h)) // room for two mature semispaces
+	l.Bump1End = cursor
+	l.MatureBase = cursor
+	cursor = align(cursor + mem.Addr(2*h))
+	l.MatureEnd = cursor
+	l.LOSBase = cursor
+	cursor = align(cursor + mem.Addr(h))
+	l.LOSEnd = cursor
+	l.Total = uint64(cursor)
+	return l
+}
+
+// Region names an address range for diagnostics.
+func (l Layout) Region(a mem.Addr) string {
+	switch {
+	case a >= l.Bump0Base && a < l.Bump0End:
+		return "bump0"
+	case a >= l.Bump1Base && a < l.Bump1End:
+		return "bump1"
+	case a >= l.MatureBase && a < l.MatureEnd:
+		return "mature"
+	case a >= l.LOSBase && a < l.LOSEnd:
+		return "los"
+	}
+	return "outside"
+}
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	return fmt.Sprintf("bump0=[%#x,%#x) bump1=[%#x,%#x) mature=[%#x,%#x) los=[%#x,%#x)",
+		l.Bump0Base, l.Bump0End, l.Bump1Base, l.Bump1End,
+		l.MatureBase, l.MatureEnd, l.LOSBase, l.LOSEnd)
+}

@@ -1,0 +1,181 @@
+package heap
+
+import (
+	"sort"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// LOS is the page-based large object space (§3): objects bigger than the
+// largest size class each occupy a dedicated run of whole pages. Run
+// bookkeeping is kept off to the side (as MMTk's treadmill does); object
+// headers and payloads live in the heap proper.
+type LOS struct {
+	s    *mem.Space
+	base mem.Addr
+	n    int // pages in the region
+
+	free    *mem.Bitmap      // free pages
+	objects map[mem.Addr]int // object -> pages in its run
+	sorted  []mem.Addr       // allocation order cache for iteration, kept sorted
+	dirty   bool             // sorted needs rebuild
+	inUse   int              // pages allocated
+}
+
+// NewLOS creates a large object space over [base, end).
+func NewLOS(s *mem.Space, base, end mem.Addr) *LOS {
+	if base%mem.PageSize != 0 || end%mem.PageSize != 0 || end <= base {
+		panic("heap: unaligned LOS region")
+	}
+	n := int((end - base) / mem.PageSize)
+	l := &LOS{
+		s:       s,
+		base:    base,
+		n:       n,
+		free:    mem.NewBitmap(n),
+		objects: make(map[mem.Addr]int),
+	}
+	l.free.SetAll()
+	return l
+}
+
+// Contains reports whether a lies in the LOS region.
+func (l *LOS) Contains(a mem.Addr) bool {
+	return a >= l.base && a < l.base+mem.Addr(l.n)*mem.PageSize
+}
+
+// UsedPages returns the number of allocated LOS pages.
+func (l *LOS) UsedPages() int { return l.inUse }
+
+// Objects returns the number of live large objects.
+func (l *LOS) Objects() int { return len(l.objects) }
+
+// Alloc places an object of type t on a fresh run of pages, first-fit.
+// Returns mem.Nil if no run is free (caller collects).
+func (l *LOS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
+	pages := int(mem.RoundUpPage(uint64(t.TotalBytes(arrayLen))) / mem.PageSize)
+	start := l.findRun(pages)
+	if start < 0 {
+		return mem.Nil
+	}
+	for i := start; i < start+pages; i++ {
+		l.free.Clear(i)
+	}
+	l.inUse += pages
+	o := l.base + mem.Addr(start)*mem.PageSize
+	l.objects[o] = pages
+	l.dirty = true
+	objmodel.ClearStatus(l.s, o)
+	objmodel.SetTypeWord(l.s, o, t.ID, arrayLen)
+	l.s.ZeroRange(objmodel.Payload(o), uint64(t.PayloadWords(arrayLen))*mem.WordSize)
+	return o
+}
+
+// findRun locates pages consecutive free pages, first-fit.
+func (l *LOS) findRun(pages int) int {
+	for i := l.free.NextSet(0); i >= 0; i = l.free.NextSet(i + 1) {
+		run := 1
+		for run < pages && i+run < l.n && l.free.Test(i+run) {
+			run++
+		}
+		if run == pages {
+			return i
+		}
+		i += run - 1
+	}
+	return -1
+}
+
+// Free releases the run holding o and returns its page range so the
+// caller can discard the pages.
+func (l *LOS) Free(o objmodel.Ref) (first, last mem.PageID) {
+	pages, ok := l.objects[o]
+	if !ok {
+		panic("heap: LOS free of unknown object")
+	}
+	delete(l.objects, o)
+	l.dirty = true
+	start := int((o - l.base) / mem.PageSize)
+	for i := start; i < start+pages; i++ {
+		l.free.Set(i)
+	}
+	l.inUse -= pages
+	return o.Page(), o.Page() + mem.PageID(pages) - 1
+}
+
+// PagesOf returns the page range of a live large object.
+func (l *LOS) PagesOf(o objmodel.Ref) (first, last mem.PageID) {
+	pages := l.objects[o]
+	return o.Page(), o.Page() + mem.PageID(pages) - 1
+}
+
+// ForEachObject visits live large objects in address order. The visit
+// itself does not touch heap pages; callers touching headers will.
+func (l *LOS) ForEachObject(fn func(o objmodel.Ref)) {
+	if l.dirty {
+		l.sorted = l.sorted[:0]
+		for o := range l.objects {
+			l.sorted = append(l.sorted, o)
+		}
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+		l.dirty = false
+	}
+	for _, o := range l.sorted {
+		if _, ok := l.objects[o]; ok {
+			fn(o)
+		}
+	}
+}
+
+// ObjectContaining returns the large object whose run covers a, if any.
+func (l *LOS) ObjectContaining(a mem.Addr) (objmodel.Ref, bool) {
+	if !l.Contains(a) {
+		return mem.Nil, false
+	}
+	// Walk back from a's page to the run start; runs are short.
+	for o, pages := range l.objects {
+		if a >= o && a < o+mem.Addr(pages)*mem.PageSize {
+			return o, true
+		}
+	}
+	return mem.Nil, false
+}
+
+// ForEachFreePage visits every free page of the region (for discardable-
+// page discovery).
+func (l *LOS) ForEachFreePage(fn func(p mem.PageID)) {
+	for i := l.free.NextSet(0); i >= 0; i = l.free.NextSet(i + 1) {
+		fn((l.base + mem.Addr(i)*mem.PageSize).Page())
+	}
+}
+
+// IsFreePage reports in O(1) whether the page holding p is free.
+func (l *LOS) IsFreePage(p mem.PageID) bool {
+	a := mem.PageAddr(p)
+	if !l.Contains(a) {
+		return false
+	}
+	return l.free.Test(int((a - l.base) / mem.PageSize))
+}
+
+// Sweep frees every large object unmarked in epoch. Objects whose header
+// page fails the optional residency filter are skipped (BC never touches
+// evicted pages). Returns freed objects and their page ranges.
+func (l *LOS) Sweep(epoch uint32, resident func(mem.PageID) bool) (freed int, runs [][2]mem.PageID) {
+	var dead []mem.Addr
+	l.ForEachObject(func(o objmodel.Ref) {
+		if resident != nil && !resident(o.Page()) {
+			return
+		}
+		if objmodel.Marked(l.s, o, epoch) || objmodel.Bookmarked(l.s, o) {
+			return
+		}
+		dead = append(dead, o)
+	})
+	for _, o := range dead {
+		f, la := l.Free(o)
+		runs = append(runs, [2]mem.PageID{f, la})
+	}
+	return len(dead), runs
+}

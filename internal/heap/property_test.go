@@ -1,0 +1,135 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// TestBumpObjectsDisjointProperty: randomly sized bump allocations are
+// word-aligned, contiguous, in-bounds, and non-overlapping.
+func TestBumpObjectsDisjointProperty(t *testing.T) {
+	tb := objmodel.NewTable()
+	arr := tb.Array("a", false)
+	f := func(sizes []uint16) bool {
+		s := mem.NewSpace(1<<22, nil)
+		l := NewLayout(1 << 20)
+		b := NewBumpSpace(s, l.Bump0Base, l.Bump0End)
+		var prevEnd mem.Addr = l.Bump0Base
+		for _, raw := range sizes {
+			n := int(raw % 500)
+			o := b.Alloc(arr, n)
+			if o == mem.Nil {
+				return b.UsedBytes() > 0 // only acceptable when truly full
+			}
+			if o != prevEnd {
+				return false // not contiguous
+			}
+			if o%mem.WordSize != 0 {
+				return false
+			}
+			prevEnd = o + mem.Addr(mem.RoundUpWord(uint64(arr.TotalBytes(n))))
+			if prevEnd > b.Frontier() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLOSRunsDisjointProperty: random alloc/free sequences never produce
+// overlapping runs and keep page accounting exact.
+func TestLOSRunsDisjointProperty(t *testing.T) {
+	tb := objmodel.NewTable()
+	arr := tb.Array("a", false)
+	rng := rand.New(rand.NewSource(11))
+	s := mem.NewSpace(1<<24, nil)
+	los := NewLOS(s, mem.PageSize*16, mem.PageSize*1040) // 1024 pages
+	live := map[objmodel.Ref]int{}                       // obj -> pages
+
+	overlap := func(a objmodel.Ref, ap int, b objmodel.Ref, bp int) bool {
+		aEnd := a + mem.Addr(ap)*mem.PageSize
+		bEnd := b + mem.Addr(bp)*mem.PageSize
+		return a < bEnd && b < aEnd
+	}
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			words := (rng.Intn(5*mem.PageSize) + mem.PageSize) / mem.WordSize
+			o := los.Alloc(arr, words)
+			if o == mem.Nil {
+				continue
+			}
+			pages := int(mem.RoundUpPage(uint64(arr.TotalBytes(words))) / mem.PageSize)
+			for prev, pp := range live {
+				if overlap(o, pages, prev, pp) {
+					t.Fatalf("step %d: run %#x overlaps %#x", step, o, prev)
+				}
+			}
+			live[o] = pages
+		} else {
+			for o := range live {
+				los.Free(o)
+				delete(live, o)
+				break
+			}
+		}
+		want := 0
+		for _, pp := range live {
+			want += pp
+		}
+		if los.UsedPages() != want {
+			t.Fatalf("step %d: UsedPages=%d, live=%d", step, los.UsedPages(), want)
+		}
+		if los.Objects() != len(live) {
+			t.Fatalf("step %d: Objects=%d, live=%d", step, los.Objects(), len(live))
+		}
+	}
+}
+
+// TestSuperSpaceAllocFreeProperty: random allocation and freeing across
+// several classes preserves block accounting and never double-allocates.
+func TestSuperSpaceAllocFreeProperty(t *testing.T) {
+	s, l := testSetup(8 << 20)
+	tb := objmodel.NewTable()
+	node := tb.Scalar("n", 4, 0, 1)
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	rng := rand.New(rand.NewSource(5))
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+
+	live := map[objmodel.Ref]bool{}
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			o := ss.Alloc(node, 0, cl)
+			if o == mem.Nil {
+				if ss.AcquireSuper(cl, node.Kind) < 0 {
+					continue
+				}
+				o = ss.Alloc(node, 0, cl)
+			}
+			if live[o] {
+				t.Fatalf("step %d: block %#x allocated twice", step, o)
+			}
+			live[o] = true
+		} else {
+			for o := range live {
+				ss.FreeBlock(o)
+				delete(live, o)
+				break
+			}
+		}
+	}
+	// Total allocated blocks across superpages equals the live set.
+	total := 0
+	ss.ForEachSuper(func(idx int, _ objmodel.SizeClass, _ objmodel.Kind) {
+		total += ss.Allocated(idx)
+	})
+	if total != len(live) {
+		t.Fatalf("allocated %d blocks, live %d", total, len(live))
+	}
+}

@@ -1,0 +1,510 @@
+package heap
+
+import (
+	"fmt"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// Superpage header layout (word offsets from the superpage base). The
+// header lives in the first page of the superpage, so reading it touches
+// that page — this is the paper's design: metadata is stored in the
+// superpage header for constant-time access by bit-masking, and those
+// header pages are kept memory-resident (§3.4).
+const (
+	hdrKindClass = 0 // 0 = free; else (classIndex+1) | kind<<16
+	hdrIncoming  = 1 // incoming bookmark counter (§3.4)
+	hdrAllocated = 2 // allocated block count
+	hdrBitmap    = 4 // allocation bitmap, bitmapWords words
+	bitmapWords  = 16
+)
+
+func init() {
+	if hdrBitmap+bitmapWords > objmodel.SuperHeaderBytes/mem.WordSize {
+		panic("heap: superpage header overflows its reservation")
+	}
+}
+
+// SuperSpace is the segregated-fit mark-sweep mature space: an array of
+// superpages, each assigned to one size class and one object kind
+// (scalar or array, §4), with block allocation bitmaps in the superpage
+// headers. Completely empty superpages can be reassigned to any class.
+type SuperSpace struct {
+	s       *mem.Space
+	classes *objmodel.Classes
+	base    mem.Addr
+	n       int // superpages in the region
+
+	next    int     // first never-used superpage
+	free    []int32 // recycled empty superpages
+	avail   [][]int32
+	inAvail []bool
+	// used mirrors the headers' in-use state so iteration can skip free
+	// superpages without touching their (possibly evicted) header pages —
+	// the moral equivalent of linking in-use superpages in a list.
+	used     []bool
+	inUse    int
+	resident func(mem.PageID) bool // optional residency filter for alloc/sweep
+}
+
+// NewSuperSpace creates a mature space over [base, end), which must be
+// superpage-aligned.
+func NewSuperSpace(s *mem.Space, classes *objmodel.Classes, base, end mem.Addr) *SuperSpace {
+	if base%mem.SuperSize != 0 || end%mem.SuperSize != 0 || end <= base {
+		panic("heap: unaligned superpage region")
+	}
+	n := int((end - base) / mem.SuperSize)
+	return &SuperSpace{
+		s:       s,
+		classes: classes,
+		base:    base,
+		n:       n,
+		avail:   make([][]int32, 2*classes.Len()),
+		inAvail: make([]bool, n),
+		used:    make([]bool, n),
+	}
+}
+
+// SetResidencyFilter restricts allocation and sweeping to blocks whose
+// pages satisfy ok. BC installs its residency bit array here so it never
+// allocates into or sweeps across evicted pages (§3.3.1, §3.4.1).
+func (ss *SuperSpace) SetResidencyFilter(ok func(mem.PageID) bool) { ss.resident = ok }
+
+// Classes returns the size-class table in use.
+func (ss *SuperSpace) Classes() *objmodel.Classes { return ss.classes }
+
+// NumSupers returns the superpage capacity of the region.
+func (ss *SuperSpace) NumSupers() int { return ss.n }
+
+// InUseSupers returns the number of superpages assigned to a class.
+func (ss *SuperSpace) InUseSupers() int { return ss.inUse }
+
+// UsedPages returns the page footprint of assigned superpages.
+func (ss *SuperSpace) UsedPages() int { return ss.inUse * mem.SuperPages }
+
+// SuperBase returns the base address of superpage idx.
+func (ss *SuperSpace) SuperBase(idx int) mem.Addr {
+	return ss.base + mem.Addr(idx)*mem.SuperSize
+}
+
+// SuperIndex returns the index of the superpage containing a.
+func (ss *SuperSpace) SuperIndex(a mem.Addr) int {
+	return int((a - ss.base) / mem.SuperSize)
+}
+
+// Contains reports whether a lies in the mature region.
+func (ss *SuperSpace) Contains(a mem.Addr) bool {
+	return a >= ss.base && a < ss.base+mem.Addr(ss.n)*mem.SuperSize
+}
+
+// HeaderPage returns the page holding superpage idx's header. BC keeps
+// these pages resident (§3.4).
+func (ss *SuperSpace) HeaderPage(idx int) mem.PageID {
+	return ss.SuperBase(idx).Page()
+}
+
+// hdr reads header word w of superpage idx.
+func (ss *SuperSpace) hdr(idx, w int) uint64 {
+	return ss.s.ReadWord(ss.SuperBase(idx) + mem.Addr(w)*mem.WordSize)
+}
+
+// setHdr writes header word w of superpage idx.
+func (ss *SuperSpace) setHdr(idx, w int, v uint64) {
+	ss.s.WriteWord(ss.SuperBase(idx)+mem.Addr(w)*mem.WordSize, v)
+}
+
+// ClassOf returns the size class of superpage idx; ok is false for free
+// superpages.
+func (ss *SuperSpace) ClassOf(idx int) (objmodel.SizeClass, objmodel.Kind, bool) {
+	kc := ss.hdr(idx, hdrKindClass)
+	if kc == 0 {
+		return objmodel.SizeClass{}, 0, false
+	}
+	return ss.classes.Class(int(kc&0xffff) - 1), objmodel.Kind(kc >> 16 & 1), true
+}
+
+// Allocated returns the number of allocated blocks in superpage idx.
+func (ss *SuperSpace) Allocated(idx int) int { return int(ss.hdr(idx, hdrAllocated)) }
+
+// Incoming returns the incoming-bookmark counter of superpage idx.
+func (ss *SuperSpace) Incoming(idx int) int { return int(ss.hdr(idx, hdrIncoming)) }
+
+// IncIncoming bumps the incoming-bookmark counter. Headers are resident,
+// so this never faults (§3.4).
+func (ss *SuperSpace) IncIncoming(idx int) {
+	ss.setHdr(idx, hdrIncoming, ss.hdr(idx, hdrIncoming)+1)
+}
+
+// DecIncoming decrements the counter, saturating at zero, and returns the
+// new value.
+func (ss *SuperSpace) DecIncoming(idx int) int {
+	v := ss.hdr(idx, hdrIncoming)
+	if v > 0 {
+		v--
+		ss.setHdr(idx, hdrIncoming, v)
+	}
+	return int(v)
+}
+
+// SetIncoming overwrites the counter (used by the fail-safe collection
+// when all bookmarks are discarded, §3.5).
+func (ss *SuperSpace) SetIncoming(idx int, v int) { ss.setHdr(idx, hdrIncoming, uint64(v)) }
+
+// BlockAddr returns the address of block b in superpage idx.
+func (ss *SuperSpace) BlockAddr(idx, b int, cl objmodel.SizeClass) mem.Addr {
+	return ss.SuperBase(idx) + objmodel.SuperHeaderBytes + mem.Addr(b*cl.BlockSize)
+}
+
+// BlockIndex returns the block number containing a within superpage idx.
+func (ss *SuperSpace) BlockIndex(idx int, a mem.Addr, cl objmodel.SizeClass) int {
+	return int(a-ss.SuperBase(idx)-objmodel.SuperHeaderBytes) / cl.BlockSize
+}
+
+// bit helpers over the header bitmap.
+func (ss *SuperSpace) testBit(idx, b int) bool {
+	return ss.hdr(idx, hdrBitmap+b/64)&(1<<(uint(b)&63)) != 0
+}
+
+func (ss *SuperSpace) setBit(idx, b int) {
+	w := hdrBitmap + b/64
+	ss.setHdr(idx, w, ss.hdr(idx, w)|1<<(uint(b)&63))
+}
+
+func (ss *SuperSpace) clearBit(idx, b int) {
+	w := hdrBitmap + b/64
+	ss.setHdr(idx, w, ss.hdr(idx, w)&^(1<<(uint(b)&63)))
+}
+
+// availKey indexes the per-(class, kind) available lists.
+func availKey(cl objmodel.SizeClass, kind objmodel.Kind) int {
+	return 2*cl.Index + int(kind)
+}
+
+// Alloc allocates an uninitialized block for an object of type t. It
+// returns mem.Nil when no block is available — the caller must either
+// acquire a superpage (AcquireSuper) or collect.
+func (ss *SuperSpace) Alloc(t *objmodel.Type, arrayLen int, cl objmodel.SizeClass) objmodel.Ref {
+	kind := t.Kind
+	key := availKey(cl, kind)
+	list := ss.avail[key]
+	for len(list) > 0 {
+		idx := int(list[len(list)-1])
+		gotCl, gotKind, used := ss.ClassOf(idx)
+		if !used || gotCl.Index != cl.Index || gotKind != kind || ss.Allocated(idx) == cl.Blocks {
+			// Stale entry: superpage freed, reassigned, or filled.
+			list = list[:len(list)-1]
+			ss.inAvail[idx] = false
+			continue
+		}
+		if o := ss.allocIn(idx, cl, t, arrayLen); o != mem.Nil {
+			ss.avail[key] = list
+			return o
+		}
+		// No usable block (e.g. all remaining blocks on evicted pages).
+		list = list[:len(list)-1]
+		ss.inAvail[idx] = false
+	}
+	ss.avail[key] = list
+	return mem.Nil
+}
+
+// allocIn carves one block out of superpage idx, honoring the residency
+// filter, and initializes the object header.
+func (ss *SuperSpace) allocIn(idx int, cl objmodel.SizeClass, t *objmodel.Type, arrayLen int) objmodel.Ref {
+	for b := 0; b < cl.Blocks; b++ {
+		if ss.testBit(idx, b) {
+			continue
+		}
+		o := ss.BlockAddr(idx, b, cl)
+		if ss.resident != nil && !ss.blockResident(o, cl.BlockSize) {
+			continue
+		}
+		ss.setBit(idx, b)
+		ss.setHdr(idx, hdrAllocated, ss.hdr(idx, hdrAllocated)+1)
+		objmodel.ClearStatus(ss.s, o)
+		objmodel.SetTypeWord(ss.s, o, t.ID, arrayLen)
+		ss.s.ZeroRange(objmodel.Payload(o), uint64(t.PayloadWords(arrayLen))*mem.WordSize)
+		return o
+	}
+	return mem.Nil
+}
+
+// blockResident reports whether every page the block spans passes the
+// residency filter.
+func (ss *SuperSpace) blockResident(o mem.Addr, size int) bool {
+	first, last := mem.PagesIn(o, uint64(size))
+	for p := first; p <= last; p++ {
+		if !ss.resident(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// AcquireSuper assigns a fresh superpage to (cl, kind) and makes it
+// available for allocation. Returns the superpage index, or -1 if the
+// region is exhausted.
+func (ss *SuperSpace) AcquireSuper(cl objmodel.SizeClass, kind objmodel.Kind) int {
+	idx := -1
+	if n := len(ss.free); n > 0 {
+		idx = int(ss.free[n-1])
+		ss.free = ss.free[:n-1]
+	} else if ss.next < ss.n {
+		idx = ss.next
+		ss.next++
+	} else {
+		return -1
+	}
+	ss.setHdr(idx, hdrKindClass, uint64(cl.Index+1)|uint64(kind)<<16)
+	ss.setHdr(idx, hdrIncoming, 0)
+	ss.setHdr(idx, hdrAllocated, 0)
+	for w := 0; w < bitmapWords; w++ {
+		ss.setHdr(idx, hdrBitmap+w, 0)
+	}
+	ss.used[idx] = true
+	ss.inUse++
+	ss.pushAvail(idx, cl, kind)
+	return idx
+}
+
+func (ss *SuperSpace) pushAvail(idx int, cl objmodel.SizeClass, kind objmodel.Kind) {
+	if !ss.inAvail[idx] {
+		ss.inAvail[idx] = true
+		key := availKey(cl, kind)
+		ss.avail[key] = append(ss.avail[key], int32(idx))
+	}
+}
+
+// FreeBlock releases the block holding object o. When the superpage
+// becomes empty it is returned to the free pool (reassignable to any
+// class). Reports whether the superpage became free.
+func (ss *SuperSpace) FreeBlock(o objmodel.Ref) bool {
+	idx := ss.SuperIndex(o)
+	cl, kind, ok := ss.ClassOf(idx)
+	if !ok {
+		panic(fmt.Sprintf("heap: FreeBlock on free superpage %d", idx))
+	}
+	b := ss.BlockIndex(idx, o, cl)
+	if !ss.testBit(idx, b) {
+		panic("heap: double free")
+	}
+	ss.clearBit(idx, b)
+	n := ss.hdr(idx, hdrAllocated) - 1
+	ss.setHdr(idx, hdrAllocated, n)
+	if n == 0 {
+		ss.releaseSuper(idx)
+		return true
+	}
+	ss.pushAvail(idx, cl, kind)
+	return false
+}
+
+// releaseSuper marks superpage idx free.
+func (ss *SuperSpace) releaseSuper(idx int) {
+	ss.setHdr(idx, hdrKindClass, 0)
+	ss.setHdr(idx, hdrIncoming, 0)
+	ss.used[idx] = false
+	ss.inUse--
+	ss.free = append(ss.free, int32(idx))
+	ss.inAvail[idx] = false
+}
+
+// ForEachSuper calls fn for every in-use superpage. Reading the header
+// touches the header page, as a real header walk would.
+func (ss *SuperSpace) ForEachSuper(fn func(idx int, cl objmodel.SizeClass, kind objmodel.Kind)) {
+	for idx := 0; idx < ss.next; idx++ {
+		if !ss.used[idx] {
+			continue
+		}
+		if cl, kind, ok := ss.ClassOf(idx); ok {
+			fn(idx, cl, kind)
+		}
+	}
+}
+
+// Used reports whether superpage idx is assigned to a class, without
+// touching the header page.
+func (ss *SuperSpace) Used(idx int) bool { return ss.used[idx] }
+
+// ForEachObjectIn walks the allocated blocks of superpage idx using only
+// the header bitmap, so the walk itself does not touch data pages.
+func (ss *SuperSpace) ForEachObjectIn(idx int, fn func(o objmodel.Ref)) {
+	cl, _, ok := ss.ClassOf(idx)
+	if !ok {
+		return
+	}
+	for b := 0; b < cl.Blocks; b++ {
+		if ss.testBit(idx, b) {
+			fn(ss.BlockAddr(idx, b, cl))
+		}
+	}
+}
+
+// ObjectAt returns the block start containing a (which may point
+// anywhere inside the block), for page scans that must locate headers.
+func (ss *SuperSpace) ObjectAt(idx int, a mem.Addr) (objmodel.Ref, bool) {
+	cl, _, ok := ss.ClassOf(idx)
+	if !ok {
+		return mem.Nil, false
+	}
+	off := a - ss.SuperBase(idx)
+	if off < objmodel.SuperHeaderBytes {
+		return mem.Nil, false
+	}
+	b := int(off-objmodel.SuperHeaderBytes) / cl.BlockSize
+	if b >= cl.Blocks || !ss.testBit(idx, b) {
+		return mem.Nil, false
+	}
+	return ss.BlockAddr(idx, b, cl), true
+}
+
+// SweepSuper frees every allocated block in superpage idx whose object is
+// unmarked in epoch. If the space has a residency filter, blocks starting
+// on non-resident pages are skipped entirely (BC sweeps only the
+// memory-resident pages, §3.4.1). Returns the number of blocks freed and
+// whether the superpage became empty.
+func (ss *SuperSpace) SweepSuper(idx int, epoch uint32) (freed int, empty bool) {
+	cl, kind, ok := ss.ClassOf(idx)
+	if !ok {
+		return 0, false
+	}
+	allocated := ss.hdr(idx, hdrAllocated)
+	for b := 0; b < cl.Blocks; b++ {
+		if !ss.testBit(idx, b) {
+			continue
+		}
+		o := ss.BlockAddr(idx, b, cl)
+		if ss.resident != nil && !ss.resident(o.Page()) {
+			continue
+		}
+		if objmodel.Marked(ss.s, o, epoch) || objmodel.Bookmarked(ss.s, o) {
+			continue
+		}
+		ss.clearBit(idx, b)
+		allocated--
+		freed++
+	}
+	ss.setHdr(idx, hdrAllocated, allocated)
+	if allocated == 0 {
+		ss.releaseSuper(idx)
+		return freed, true
+	}
+	if freed > 0 {
+		ss.pushAvail(idx, cl, kind)
+	}
+	return freed, false
+}
+
+// Sweep sweeps every in-use superpage, returning total freed blocks and
+// freed superpages.
+func (ss *SuperSpace) Sweep(epoch uint32) (blocks, supers int) {
+	for idx := 0; idx < ss.next; idx++ {
+		if !ss.used[idx] {
+			continue
+		}
+		f, e := ss.SweepSuper(idx, epoch)
+		blocks += f
+		if e {
+			supers++
+		}
+	}
+	return blocks, supers
+}
+
+// HighWater returns one past the largest superpage index ever assigned;
+// iteration bounds for callers walking the space themselves.
+func (ss *SuperSpace) HighWater() int { return ss.next }
+
+// AllocInSuper carves a block for t out of superpage idx specifically —
+// the restricted allocation BC's compaction uses to fill target
+// superpages (§3.2). Returns mem.Nil if idx has no usable block.
+func (ss *SuperSpace) AllocInSuper(idx int, t *objmodel.Type, arrayLen int) objmodel.Ref {
+	cl, kind, ok := ss.ClassOf(idx)
+	if !ok || kind != t.Kind {
+		return mem.Nil
+	}
+	return ss.allocIn(idx, cl, t, arrayLen)
+}
+
+// FreeResidentBlocks counts the unallocated blocks of superpage idx whose
+// pages pass the residency filter — the capacity compaction can copy
+// into.
+func (ss *SuperSpace) FreeResidentBlocks(idx int) int {
+	cl, _, ok := ss.ClassOf(idx)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for b := 0; b < cl.Blocks; b++ {
+		if ss.testBit(idx, b) {
+			continue
+		}
+		o := ss.BlockAddr(idx, b, cl)
+		if ss.resident != nil && !ss.blockResident(o, cl.BlockSize) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ObjectsOverlappingPage visits every allocated block of superpage idx
+// whose extent overlaps page p — the objects BC must process when p is
+// scheduled for eviction or reloaded (§3.4).
+func (ss *SuperSpace) ObjectsOverlappingPage(idx int, p mem.PageID, fn func(o objmodel.Ref)) {
+	cl, _, ok := ss.ClassOf(idx)
+	if !ok {
+		return
+	}
+	dataStart := ss.SuperBase(idx) + objmodel.SuperHeaderBytes
+	pStart, pEnd := mem.PageAddr(p), mem.PageAddr(p)+mem.PageSize
+	if pEnd <= dataStart {
+		return
+	}
+	b0 := 0
+	if pStart > dataStart {
+		b0 = int(pStart-dataStart) / cl.BlockSize
+	}
+	b1 := int(pEnd-1-dataStart) / cl.BlockSize
+	if b1 >= cl.Blocks {
+		b1 = cl.Blocks - 1
+	}
+	for b := b0; b <= b1; b++ {
+		if ss.testBit(idx, b) {
+			fn(ss.BlockAddr(idx, b, cl))
+		}
+	}
+}
+
+// ObjectsOverlappingRange visits allocated blocks of superpage idx whose
+// extent overlaps [start, end) — used for card scanning (§3.1).
+func (ss *SuperSpace) ObjectsOverlappingRange(idx int, start, end mem.Addr, fn func(o objmodel.Ref)) {
+	cl, _, ok := ss.ClassOf(idx)
+	if !ok {
+		return
+	}
+	dataStart := ss.SuperBase(idx) + objmodel.SuperHeaderBytes
+	if end <= dataStart {
+		return
+	}
+	b0 := 0
+	if start > dataStart {
+		b0 = int(start-dataStart) / cl.BlockSize
+	}
+	b1 := int(end-1-dataStart) / cl.BlockSize
+	if b1 >= cl.Blocks {
+		b1 = cl.Blocks - 1
+	}
+	for b := b0; b <= b1; b++ {
+		if ss.testBit(idx, b) {
+			fn(ss.BlockAddr(idx, b, cl))
+		}
+	}
+}
+
+// PagesOf returns the page range of superpage idx.
+func (ss *SuperSpace) PagesOf(idx int) (first, last mem.PageID) {
+	b := ss.SuperBase(idx)
+	return b.Page(), b.Page() + mem.SuperPages - 1
+}

@@ -1,0 +1,168 @@
+package heap
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+func TestObjectsOverlappingPage(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	_, node, _, _ := testTypes()
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+	idx := ss.AcquireSuper(cl, node.Kind)
+	var objs []objmodel.Ref
+	for {
+		o := ss.Alloc(node, 0, cl)
+		if o == mem.Nil {
+			break
+		}
+		objs = append(objs, o)
+	}
+	first, last := ss.PagesOf(idx)
+	// Every object must be reported by exactly the pages it overlaps,
+	// and the union over all pages must cover every object.
+	seen := map[objmodel.Ref]int{}
+	for p := first; p <= last; p++ {
+		ss.ObjectsOverlappingPage(idx, p, func(o objmodel.Ref) {
+			size := mem.Addr(cl.BlockSize)
+			pStart, pEnd := mem.PageAddr(p), mem.PageAddr(p)+mem.PageSize
+			if o >= pEnd || o+size <= pStart {
+				t.Fatalf("page %d reported non-overlapping object %#x", p, o)
+			}
+			seen[o]++
+		})
+	}
+	for _, o := range objs {
+		f, la := mem.PagesIn(o, uint64(cl.BlockSize))
+		if seen[o] != int(la-f+1) {
+			t.Fatalf("object %#x reported %d times, overlaps %d pages", o, seen[o], la-f+1)
+		}
+	}
+}
+
+func TestObjectsOverlappingRange(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	_, node, _, _ := testTypes()
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+	idx := ss.AcquireSuper(cl, node.Kind)
+	o1 := ss.Alloc(node, 0, cl)
+	o2 := ss.Alloc(node, 0, cl)
+	o3 := ss.Alloc(node, 0, cl)
+	_ = o3
+	var got []objmodel.Ref
+	// A range covering exactly o1 and o2.
+	ss.ObjectsOverlappingRange(idx, o1, o2+mem.Addr(cl.BlockSize), func(o objmodel.Ref) {
+		got = append(got, o)
+	})
+	if len(got) != 2 || got[0] != o1 || got[1] != o2 {
+		t.Fatalf("range scan = %v, want [%#x %#x]", got, o1, o2)
+	}
+	// A range entirely inside the header reports nothing.
+	got = nil
+	ss.ObjectsOverlappingRange(idx, ss.SuperBase(idx), ss.SuperBase(idx)+64, func(o objmodel.Ref) {
+		got = append(got, o)
+	})
+	if len(got) != 0 {
+		t.Fatalf("header range reported %v", got)
+	}
+}
+
+func TestAllocInSuperRespectsKindAndClass(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	_, node, refs, _ := testTypes()
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+	idx := ss.AcquireSuper(cl, objmodel.KindScalar)
+	if o := ss.AllocInSuper(idx, node, 0); o == mem.Nil {
+		t.Fatal("scalar alloc into scalar superpage failed")
+	}
+	// Arrays must be refused (kind mismatch).
+	if o := ss.AllocInSuper(idx, refs, 2); o != mem.Nil {
+		t.Fatal("array allocated into scalar superpage")
+	}
+	// Free superpage: refused.
+	free := ss.AcquireSuper(cl, objmodel.KindScalar)
+	ss.ForEachObjectIn(free, func(o objmodel.Ref) {})
+	o := ss.AllocInSuper(free, node, 0)
+	ss.FreeBlock(o) // empties it back to free
+	if got := ss.AllocInSuper(free, node, 0); got != mem.Nil {
+		t.Fatal("allocated into a released superpage")
+	}
+}
+
+func TestFreeResidentBlocks(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	_, node, _, _ := testTypes()
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+	idx := ss.AcquireSuper(cl, node.Kind)
+	if got := ss.FreeResidentBlocks(idx); got != cl.Blocks {
+		t.Fatalf("fresh superpage free blocks = %d, want %d", got, cl.Blocks)
+	}
+	ss.Alloc(node, 0, cl)
+	ss.Alloc(node, 0, cl)
+	if got := ss.FreeResidentBlocks(idx); got != cl.Blocks-2 {
+		t.Fatalf("free blocks = %d, want %d", got, cl.Blocks-2)
+	}
+	// With a residency filter excluding the last page, blocks there stop
+	// counting.
+	_, last := ss.PagesOf(idx)
+	ss.SetResidencyFilter(func(p mem.PageID) bool { return p != last })
+	if got := ss.FreeResidentBlocks(idx); got >= cl.Blocks-2 {
+		t.Fatalf("filtered free blocks = %d, want fewer", got)
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	_, node, _, _ := testTypes()
+	ss := NewSuperSpace(s, classes, l.MatureBase, l.MatureEnd)
+	if ss.HighWater() != 0 {
+		t.Fatal("fresh space has high water")
+	}
+	cl, _ := classes.ForSize(node.TotalBytes(0))
+	ss.AcquireSuper(cl, node.Kind)
+	ss.AcquireSuper(cl, node.Kind)
+	if ss.HighWater() != 2 {
+		t.Fatalf("HighWater = %d", ss.HighWater())
+	}
+}
+
+func TestLOSObjectContainingAndIsFree(t *testing.T) {
+	s, l := testSetup(4 << 20)
+	tb, _, _, _ := testTypes()
+	big := tb.Array("big", false)
+	los := NewLOS(s, l.LOSBase, l.LOSEnd)
+	n := (3*mem.PageSize - objmodel.HeaderBytes) / mem.WordSize
+	o := los.Alloc(big, n)
+
+	mid := o + 2*mem.PageSize // inside the run
+	got, ok := los.ObjectContaining(mid)
+	if !ok || got != o {
+		t.Fatalf("ObjectContaining(%#x) = %#x, %v", mid, got, ok)
+	}
+	if _, ok := los.ObjectContaining(l.LOSEnd - mem.PageSize); ok {
+		t.Fatal("found object in free space")
+	}
+	if _, ok := los.ObjectContaining(l.MatureBase); ok {
+		t.Fatal("found object outside the region")
+	}
+	if los.IsFreePage(o.Page()) {
+		t.Fatal("allocated page reported free")
+	}
+	if !los.IsFreePage((l.LOSEnd - mem.PageSize).Page()) {
+		t.Fatal("free page not reported free")
+	}
+	if los.IsFreePage(l.MatureBase.Page()) {
+		t.Fatal("out-of-region page reported free")
+	}
+	nFree := 0
+	los.ForEachFreePage(func(mem.PageID) { nFree++ })
+	if nFree != los.free.Count() {
+		t.Fatal("ForEachFreePage count mismatch")
+	}
+}

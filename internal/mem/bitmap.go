@@ -1,0 +1,123 @@
+package mem
+
+import "math/bits"
+
+// Bitmap is a dense bit set used for page-residency tracking, block
+// allocation maps, and card tables. BC's aggressive empty-page discard
+// (§3.4.3 of the paper) operates on whole 64-bit words of the residency
+// bitmap, which is why word-granularity operations are exposed.
+type Bitmap struct {
+	w []uint64
+	n int // number of valid bits
+}
+
+// NewBitmap creates a bitmap of n bits, all clear.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{w: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the bitmap.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i int) bool { return b.w[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetAll sets every bit.
+func (b *Bitmap) SetAll() {
+	for i := range b.w {
+		b.w[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// ClearAll clears every bit.
+func (b *Bitmap) ClearAll() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// trim clears the unused tail bits of the last word so popcounts stay honest.
+func (b *Bitmap) trim() {
+	if rem := b.n & 63; rem != 0 && len(b.w) > 0 {
+		b.w[len(b.w)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// NextSet returns the index of the first set bit >= i, or -1.
+func (b *Bitmap) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < b.n {
+		wi := i >> 6
+		w := b.w[wi] >> (uint(i) & 63)
+		if w != 0 {
+			r := i + bits.TrailingZeros64(w)
+			if r >= b.n {
+				return -1
+			}
+			return r
+		}
+		i = (wi + 1) << 6
+	}
+	return -1
+}
+
+// NextClear returns the index of the first clear bit >= i, or -1.
+func (b *Bitmap) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < b.n {
+		wi := i >> 6
+		w := (^b.w[wi]) >> (uint(i) & 63)
+		if w != 0 {
+			r := i + bits.TrailingZeros64(w)
+			if r >= b.n {
+				return -1
+			}
+			return r
+		}
+		i = (wi + 1) << 6
+	}
+	return -1
+}
+
+// WordIndex returns the index of the 64-bit word holding bit i.
+func (b *Bitmap) WordIndex(i int) int { return i >> 6 }
+
+// SetBitsInWord returns the indices of all set bits that share bit i's
+// 64-bit word. This is the unit of BC's aggressive discard: when one
+// discardable page is found, every empty page recorded in the same word
+// of the residency bitmap is returned to the VM with it.
+func (b *Bitmap) SetBitsInWord(i int) []int {
+	wi := i >> 6
+	w := b.w[wi]
+	base := wi << 6
+	var out []int
+	for w != 0 {
+		t := bits.TrailingZeros64(w)
+		idx := base + t
+		if idx < b.n {
+			out = append(out, idx)
+		}
+		w &^= 1 << uint(t)
+	}
+	return out
+}

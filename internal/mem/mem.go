@@ -1,0 +1,179 @@
+// Package mem provides the word-addressed simulated address space that the
+// entire runtime is built on: byte addresses, page and superpage geometry,
+// and the backing store for a process's heap words.
+//
+// Every word read or written through a Space is reported to a Toucher
+// (in practice the virtual memory manager), which is how page residency,
+// reference bits, and page faults are modeled. Code that bypasses Touch
+// does not exist: the collectors can only reach heap memory through Space,
+// so "who touches which page" is an emergent property of the algorithms.
+package mem
+
+import "fmt"
+
+// Fundamental geometry. These mirror the paper's platform: 4 KB pages
+// grouped into page-aligned superpages of four contiguous pages (16 KB).
+const (
+	WordSize   = 8                   // bytes per word
+	PageSize   = 4096                // bytes per page
+	PageShift  = 12                  // log2(PageSize)
+	WordsPage  = PageSize / WordSize // words per page
+	SuperPages = 4                   // pages per superpage
+	SuperSize  = PageSize * SuperPages
+	SuperShift = 14 // log2(SuperSize)
+)
+
+// Addr is a byte address in a process's simulated virtual address space.
+// The zero Addr is the null reference; the first page of every space is
+// reserved and never allocated so that 0 is never a valid object.
+type Addr uint64
+
+// Nil is the null reference.
+const Nil Addr = 0
+
+// PageID identifies a page within one address space (Addr / PageSize).
+type PageID uint64
+
+// Page returns the page containing a.
+func (a Addr) Page() PageID { return PageID(a >> PageShift) }
+
+// PageBase returns the first address of the page containing a.
+func (a Addr) PageBase() Addr { return a &^ (PageSize - 1) }
+
+// SuperBase returns the first address of the superpage containing a.
+// This is the constant-time bit-masking access to superpage headers that
+// the paper relies on (§3.4).
+func (a Addr) SuperBase() Addr { return a &^ (SuperSize - 1) }
+
+// PageAddr returns the first address of page p.
+func PageAddr(p PageID) Addr { return Addr(p) << PageShift }
+
+// WordIndex returns the word offset of a within its space.
+func (a Addr) WordIndex() uint64 { return uint64(a) / WordSize }
+
+// Aligned reports whether a is word-aligned.
+func (a Addr) Aligned() bool { return a%WordSize == 0 }
+
+// PagesIn returns the IDs of all pages overlapping [a, a+size).
+func PagesIn(a Addr, size uint64) (first, last PageID) {
+	if size == 0 {
+		return a.Page(), a.Page()
+	}
+	return a.Page(), (a + Addr(size) - 1).Page()
+}
+
+// RoundUpPage rounds n up to a multiple of PageSize.
+func RoundUpPage(n uint64) uint64 { return (n + PageSize - 1) &^ (PageSize - 1) }
+
+// RoundUpWord rounds n up to a multiple of WordSize.
+func RoundUpWord(n uint64) uint64 { return (n + WordSize - 1) &^ (WordSize - 1) }
+
+// A Toucher observes every access to a space, one call per word access.
+// The virtual memory manager implements this to maintain reference bits
+// and to service page faults.
+type Toucher interface {
+	Touch(p PageID, write bool)
+}
+
+// Space is the backing store for one process's virtual address space.
+// Backing pages are allocated lazily on first write and read as zero
+// before that, so host memory tracks the pages actually used rather than
+// the (large) virtual region.
+type Space struct {
+	pages [][]uint64 // nil entries read as zero
+	size  Addr       // bytes
+	t     Toucher
+}
+
+// NewSpace creates a space of the given size in bytes (rounded up to a
+// whole number of pages). The Toucher may be nil (used in unit tests);
+// attach the VMM later with SetToucher.
+func NewSpace(size uint64, t Toucher) *Space {
+	size = RoundUpPage(size)
+	return &Space{
+		pages: make([][]uint64, size/PageSize),
+		size:  Addr(size),
+		t:     t,
+	}
+}
+
+// SetToucher attaches the access observer (the VMM).
+func (s *Space) SetToucher(t Toucher) { s.t = t }
+
+// Size returns the size of the space in bytes.
+func (s *Space) Size() Addr { return s.size }
+
+// Pages returns the number of pages in the space.
+func (s *Space) Pages() int { return int(s.size >> PageShift) }
+
+func (s *Space) check(a Addr) {
+	if a >= s.size || !a.Aligned() {
+		panic(fmt.Sprintf("mem: bad address %#x (space size %#x)", a, s.size))
+	}
+	if a < PageSize {
+		panic(fmt.Sprintf("mem: access to reserved null page at %#x", a))
+	}
+}
+
+// ReadWord reads the word at a, touching its page.
+func (s *Space) ReadWord(a Addr) uint64 {
+	s.check(a)
+	if s.t != nil {
+		s.t.Touch(a.Page(), false)
+	}
+	pg := s.pages[a.Page()]
+	if pg == nil {
+		return 0
+	}
+	return pg[(a%PageSize)/WordSize]
+}
+
+// WriteWord writes the word at a, touching its page for writing.
+func (s *Space) WriteWord(a Addr, v uint64) {
+	s.check(a)
+	if s.t != nil {
+		s.t.Touch(a.Page(), true)
+	}
+	pg := s.pages[a.Page()]
+	if pg == nil {
+		if v == 0 {
+			return
+		}
+		pg = make([]uint64, WordsPage)
+		s.pages[a.Page()] = pg
+	}
+	pg[(a%PageSize)/WordSize] = v
+}
+
+// ReadAddr reads the word at a as an address.
+func (s *Space) ReadAddr(a Addr) Addr { return Addr(s.ReadWord(a)) }
+
+// WriteAddr writes an address-valued word.
+func (s *Space) WriteAddr(a Addr, v Addr) { s.WriteWord(a, uint64(v)) }
+
+// ZeroRange zeroes [a, a+n) (n bytes, word-aligned), touching each page
+// once per word written. Used by allocators when recycling memory.
+func (s *Space) ZeroRange(a Addr, n uint64) {
+	n = RoundUpWord(n)
+	for off := Addr(0); off < Addr(n); off += WordSize {
+		s.WriteWord(a+off, 0)
+	}
+}
+
+// PeekWord reads a word without touching the page. It exists only for
+// tests and debug dumps; runtime code must use ReadWord.
+func (s *Space) PeekWord(a Addr) uint64 {
+	s.check(a)
+	pg := s.pages[a.Page()]
+	if pg == nil {
+		return 0
+	}
+	return pg[(a%PageSize)/WordSize]
+}
+
+// ZeroPageRaw zeroes a page's backing store without touching it. The VMM
+// uses this to model madvise(MADV_DONTNEED): a discarded page reads as
+// zero-filled when next faulted in.
+func (s *Space) ZeroPageRaw(p PageID) {
+	s.pages[p] = nil
+}

@@ -1,0 +1,242 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if WordsPage != 512 {
+		t.Fatalf("WordsPage = %d, want 512", WordsPage)
+	}
+	if SuperSize != 16384 {
+		t.Fatalf("SuperSize = %d, want 16384", SuperSize)
+	}
+	a := Addr(0x12345678)
+	if a.Page() != PageID(0x12345) {
+		t.Errorf("Page() = %#x, want 0x12345", a.Page())
+	}
+	if a.PageBase() != 0x12345000 {
+		t.Errorf("PageBase() = %#x", a.PageBase())
+	}
+	if a.SuperBase() != 0x12344000 {
+		t.Errorf("SuperBase() = %#x", a.SuperBase())
+	}
+	if PageAddr(3) != 3*PageSize {
+		t.Errorf("PageAddr(3) = %#x", PageAddr(3))
+	}
+}
+
+func TestSuperBaseAligned(t *testing.T) {
+	// Property: SuperBase is idempotent, superpage-aligned, and <= a.
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		b := a.SuperBase()
+		return b%SuperSize == 0 && b <= a && b.SuperBase() == b && a-b < SuperSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	f, l := PagesIn(PageSize-8, 16)
+	if f != 0 || l != 1 {
+		t.Errorf("PagesIn straddle: got %d..%d, want 0..1", f, l)
+	}
+	f, l = PagesIn(2*PageSize, PageSize)
+	if f != 2 || l != 2 {
+		t.Errorf("PagesIn exact page: got %d..%d, want 2..2", f, l)
+	}
+	f, l = PagesIn(0, 0)
+	if f != 0 || l != 0 {
+		t.Errorf("PagesIn empty: got %d..%d", f, l)
+	}
+}
+
+func TestRounding(t *testing.T) {
+	cases := []struct{ in, page, word uint64 }{
+		{0, 0, 0},
+		{1, PageSize, WordSize},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, 2 * PageSize, PageSize + WordSize},
+		{15, PageSize, 16},
+	}
+	for _, c := range cases {
+		if got := RoundUpPage(c.in); got != c.page {
+			t.Errorf("RoundUpPage(%d) = %d, want %d", c.in, got, c.page)
+		}
+		if got := RoundUpWord(c.in); got != c.word {
+			t.Errorf("RoundUpWord(%d) = %d, want %d", c.in, got, c.word)
+		}
+	}
+}
+
+type recordToucher struct {
+	touches []PageID
+	writes  []bool
+}
+
+func (r *recordToucher) Touch(p PageID, w bool) {
+	r.touches = append(r.touches, p)
+	r.writes = append(r.writes, w)
+}
+
+func TestSpaceReadWrite(t *testing.T) {
+	rec := &recordToucher{}
+	s := NewSpace(4*PageSize, rec)
+	a := Addr(PageSize + 64)
+	s.WriteWord(a, 0xdeadbeef)
+	if got := s.ReadWord(a); got != 0xdeadbeef {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	if len(rec.touches) != 2 || rec.touches[0] != 1 || rec.touches[1] != 1 {
+		t.Fatalf("touches = %v", rec.touches)
+	}
+	if !rec.writes[0] || rec.writes[1] {
+		t.Fatalf("writes = %v", rec.writes)
+	}
+}
+
+func TestSpaceAddrHelpers(t *testing.T) {
+	s := NewSpace(2*PageSize, nil)
+	a := Addr(PageSize)
+	s.WriteAddr(a, 0x2008)
+	if got := s.ReadAddr(a); got != 0x2008 {
+		t.Fatalf("ReadAddr = %#x", got)
+	}
+	if got := s.PeekWord(a); got != 0x2008 {
+		t.Fatalf("PeekWord = %#x", got)
+	}
+}
+
+func TestSpaceZeroRange(t *testing.T) {
+	s := NewSpace(2*PageSize, nil)
+	base := Addr(PageSize)
+	for i := 0; i < 8; i++ {
+		s.WriteWord(base+Addr(i*WordSize), 7)
+	}
+	s.ZeroRange(base+WordSize, 3*WordSize)
+	want := []uint64{7, 0, 0, 0, 7, 7, 7, 7}
+	for i, w := range want {
+		if got := s.ReadWord(base + Addr(i*WordSize)); got != w {
+			t.Errorf("word %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSpaceBadAccessPanics(t *testing.T) {
+	s := NewSpace(PageSize*2, nil)
+	for name, a := range map[string]Addr{
+		"unaligned":  PageSize + 1,
+		"null page":  8,
+		"out of rng": PageSize * 2,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for addr %#x", name, a)
+				}
+			}()
+			s.ReadWord(a)
+		}()
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Count() != 0 {
+		t.Fatal("new bitmap not empty")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Test(0) || !b.Test(64) || !b.Test(129) || b.Test(1) {
+		t.Fatal("Test after Set wrong")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestBitmapNextSetClear(t *testing.T) {
+	b := NewBitmap(200)
+	b.Set(5)
+	b.Set(130)
+	if got := b.NextSet(0); got != 5 {
+		t.Errorf("NextSet(0) = %d", got)
+	}
+	if got := b.NextSet(6); got != 130 {
+		t.Errorf("NextSet(6) = %d", got)
+	}
+	if got := b.NextSet(131); got != -1 {
+		t.Errorf("NextSet(131) = %d", got)
+	}
+	b.SetAll()
+	if got := b.NextClear(0); got != -1 {
+		t.Errorf("NextClear all-set = %d", got)
+	}
+	b.Clear(77)
+	if got := b.NextClear(0); got != 77 {
+		t.Errorf("NextClear = %d", got)
+	}
+}
+
+func TestBitmapSetAllRespectsLen(t *testing.T) {
+	b := NewBitmap(70)
+	b.SetAll()
+	if b.Count() != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", b.Count())
+	}
+}
+
+func TestBitmapSetBitsInWord(t *testing.T) {
+	b := NewBitmap(256)
+	b.Set(64)
+	b.Set(65)
+	b.Set(100)
+	b.Set(127)
+	b.Set(128) // different word
+	got := b.SetBitsInWord(70)
+	want := []int{64, 65, 100, 127}
+	if len(got) != len(want) {
+		t.Fatalf("SetBitsInWord = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetBitsInWord = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapProperties(t *testing.T) {
+	// Property: after setting a random subset, Count matches and NextSet
+	// enumerates exactly the set, in order.
+	f := func(seed []uint8) bool {
+		b := NewBitmap(300)
+		set := map[int]bool{}
+		for _, s := range seed {
+			i := int(s) % 300
+			b.Set(i)
+			set[i] = true
+		}
+		if b.Count() != len(set) {
+			return false
+		}
+		n := 0
+		for i := b.NextSet(0); i != -1; i = b.NextSet(i + 1) {
+			if !set[i] {
+				return false
+			}
+			n++
+		}
+		return n == len(set)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

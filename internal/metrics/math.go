@@ -1,0 +1,19 @@
+package metrics
+
+import "math"
+
+// Geomean returns the geometric mean of xs (used for Figure 2's summary
+// across benchmarks). Non-positive inputs are skipped.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

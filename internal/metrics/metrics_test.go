@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// tl builds a timeline of duration total with the given pauses.
+func tl(total time.Duration, pauses ...Pause) *Timeline {
+	t := &Timeline{Start: 0, End: total}
+	for _, p := range pauses {
+		t.Record(p)
+	}
+	return t
+}
+
+func sec(f float64) time.Duration { return time.Duration(f * float64(time.Second)) }
+
+func TestTimelineBasics(t *testing.T) {
+	tm := tl(sec(10),
+		Pause{Start: sec(1), Dur: sec(1), Kind: PauseNursery},
+		Pause{Start: sec(5), Dur: sec(2), Kind: PauseFull, MajorFaults: 3},
+	)
+	if tm.Elapsed() != sec(10) {
+		t.Fatalf("Elapsed = %v", tm.Elapsed())
+	}
+	if tm.TotalPause() != sec(3) {
+		t.Fatalf("TotalPause = %v", tm.TotalPause())
+	}
+	if tm.AvgPause() != sec(1.5) {
+		t.Fatalf("AvgPause = %v", tm.AvgPause())
+	}
+	if tm.MaxPause() != sec(2) {
+		t.Fatalf("MaxPause = %v", tm.MaxPause())
+	}
+	if tm.MutatorTime() != sec(7) {
+		t.Fatalf("MutatorTime = %v", tm.MutatorTime())
+	}
+	if got := tm.Utilization(); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if tm.Count() != 2 || tm.Count(PauseFull) != 1 || tm.Count(PauseNursery) != 1 || tm.Count(PauseCompact) != 0 {
+		t.Fatal("Count by kind wrong")
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tm := tl(sec(5))
+	if tm.AvgPause() != 0 || tm.MaxPause() != 0 {
+		t.Fatal("empty timeline has pauses")
+	}
+	if tm.Utilization() != 1 {
+		t.Fatalf("Utilization = %v", tm.Utilization())
+	}
+	if got := tm.MMU(sec(1)); got != 1 {
+		t.Fatalf("MMU = %v", got)
+	}
+}
+
+func TestMMU(t *testing.T) {
+	// One 1s pause at t=4 in a 10s run.
+	tm := tl(sec(10), Pause{Start: sec(4), Dur: sec(1)})
+	// A window of exactly the pause length can be fully paused.
+	if got := tm.MMU(sec(1)); got != 0 {
+		t.Fatalf("MMU(1s) = %v, want 0", got)
+	}
+	// A 2s window can at worst contain the whole 1s pause: 50%.
+	if got := tm.MMU(sec(2)); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("MMU(2s) = %v, want 0.5", got)
+	}
+	// The whole run: 90%.
+	if got := tm.MMU(sec(10)); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("MMU(10s) = %v, want 0.9", got)
+	}
+	// Windows larger than the run degrade to overall utilization.
+	if got := tm.MMU(sec(20)); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("MMU(20s) = %v", got)
+	}
+}
+
+func TestMMUAdjacentPauses(t *testing.T) {
+	// Two 1s pauses with a 1s gap: a 3s window catches both.
+	tm := tl(sec(20),
+		Pause{Start: sec(5), Dur: sec(1)},
+		Pause{Start: sec(7), Dur: sec(1)},
+	)
+	if got := tm.MMU(sec(3)); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("MMU(3s) = %v, want 1/3", got)
+	}
+}
+
+func TestBMUMonotone(t *testing.T) {
+	tm := tl(sec(30),
+		Pause{Start: sec(2), Dur: sec(1)},
+		Pause{Start: sec(10), Dur: sec(3)},
+		Pause{Start: sec(20), Dur: time.Millisecond * 500},
+	)
+	prev := -1.0
+	for _, w := range []time.Duration{sec(0.5), sec(1), sec(2), sec(5), sec(10), sec(30)} {
+		got := tm.BMU(w)
+		if got < prev-1e-9 {
+			t.Fatalf("BMU not monotone at %v: %v < %v", w, got, prev)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("BMU out of range: %v", got)
+		}
+		prev = got
+	}
+	// BMU is a lower envelope of MMU.
+	for _, w := range []time.Duration{sec(1), sec(4), sec(12)} {
+		if tm.BMU(w) > tm.MMU(w)+1e-9 {
+			t.Fatalf("BMU(%v) exceeds MMU", w)
+		}
+	}
+}
+
+func TestBMUCurveShape(t *testing.T) {
+	tm := tl(sec(10), Pause{Start: sec(4), Dur: sec(1)})
+	curve := tm.BMUCurve(sec(0.1), sec(10), 8)
+	if len(curve) != 8 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0][1] != 0 {
+		t.Fatalf("BMU at small window = %v, want 0", curve[0][1])
+	}
+	last := curve[len(curve)-1]
+	if math.Abs(last[1]-0.9) > 0.01 {
+		t.Fatalf("BMU at full window = %v, want ~0.9", last[1])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i][0] <= curve[i-1][0] {
+			t.Fatal("windows not increasing")
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var tm Timeline
+	for i := 1; i <= 100; i++ {
+		tm.Record(Pause{Dur: time.Duration(i) * time.Millisecond})
+	}
+	if got := tm.Percentile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := tm.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	mid := tm.Percentile(50)
+	if mid < 49*time.Millisecond || mid > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", mid)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Geomean(2,8) = %v", got)
+	}
+	if got := Geomean([]float64{5}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Geomean(5) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %v", got)
+	}
+	// Non-positive values are skipped.
+	if got := Geomean([]float64{0, -1, 3}); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("Geomean with junk = %v", got)
+	}
+}
+
+func TestPauseKindString(t *testing.T) {
+	if PauseNursery.String() != "nursery" || PauseFull.String() != "full" ||
+		PauseCompact.String() != "compact" {
+		t.Fatal("PauseKind strings wrong")
+	}
+}

@@ -1,0 +1,309 @@
+// Package mutator provides the workload engine and the synthetic
+// benchmark programs standing in for the paper's suite (Table 1):
+// SPECjvm98, two DaCapo benchmarks, and pseudoJBB. Each program is a
+// Spec — total allocation volume, live-set target, object size mix,
+// pointer density, and per-allocation mutator work — calibrated so the
+// first-order statistics (bytes allocated, minimum heap) match Table 1.
+//
+// The engine drives a gc.Collector through its public interface only, so
+// every allocation, field store (write barrier), and data access flows
+// through the collector and the simulated VM.
+package mutator
+
+import (
+	"math/rand"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// SizeBand is one entry of a Spec's object size mix.
+type SizeBand struct {
+	Weight   int  // relative frequency
+	Array    bool // array of data words (else scalar node with 2 refs)
+	MinWords int  // payload words
+	MaxWords int
+}
+
+// Spec describes one synthetic benchmark program.
+type Spec struct {
+	Name       string
+	TotalAlloc uint64 // bytes to allocate over the run (Table 1)
+	MinHeap    uint64 // minimum heap the paper reports (Table 1)
+
+	// LiveFrac sets the steady live set as a fraction of MinHeap.
+	LiveFrac float64
+	// ImmortalFrac is the fraction of the live set allocated up front and
+	// never released (pseudoJBB's warehouses).
+	ImmortalFrac float64
+	// TempFrac is the fraction of allocations that die immediately — the
+	// weakly-generational behaviour the suite exhibits.
+	TempFrac float64
+	// Sizes is the object size mix for pool and temporary objects.
+	Sizes []SizeBand
+	// LargeEvery > 0 allocates a large (LOS-bound) data array every N
+	// allocations, of LargeWords payload words.
+	LargeEvery int
+	LargeWords int
+	// WorkPerAlloc is how many reads/writes of random live objects the
+	// mutator performs per allocation — application work that keeps the
+	// live set hot in the VMM's eyes and advances simulated time.
+	WorkPerAlloc int
+	// LinkEvery > 0 stores a reference between two random pool objects
+	// every N allocations (exercising the write barrier with old-to-young
+	// and old-to-old stores).
+	LinkEvery int
+}
+
+// Scale returns a copy with allocation volume and live set scaled by f —
+// used to shrink runs for tests while preserving their shape.
+func (s Spec) Scale(f float64) Spec {
+	out := s
+	out.TotalAlloc = uint64(float64(s.TotalAlloc) * f)
+	out.MinHeap = uint64(float64(s.MinHeap) * f)
+	if out.MinHeap < 1<<20 {
+		out.MinHeap = 1 << 20
+	}
+	return out
+}
+
+// Types registers the standard object types a run uses.
+type Types struct {
+	Node    *objmodel.Type // 2 ref slots + 2 data words
+	RefArr  *objmodel.Type
+	DataArr *objmodel.Type
+}
+
+// DeclareTypes registers the workload types on a fresh environment.
+func DeclareTypes(env *gc.Env) Types {
+	return Types{
+		Node:    env.Types.Scalar("node", 4, 0, 1),
+		RefArr:  env.Types.Array("refs", true),
+		DataArr: env.Types.Array("data", false),
+	}
+}
+
+// Result summarizes one finished run.
+type Result struct {
+	Spec           Spec
+	AllocatedBytes uint64
+	Allocations    uint64
+	// Checksum folds every data word the mutator read during its work
+	// phases. It depends only on the program and seed — never on the
+	// collector — so differing checksums across collectors expose heap
+	// corruption (a differential oracle over the whole run).
+	Checksum uint64
+}
+
+// Run is a step-able execution of a Spec against one collector. Stepping
+// in small quanta lets a driver interleave several JVMs and deliver
+// simulated-time events between steps.
+type Run struct {
+	spec  Spec
+	c     gc.Collector
+	types Types
+	rng   *rand.Rand
+
+	immortal []int // root slots
+	pool     []int // root slots, randomly replaced
+	allocd   uint64
+	nAllocs  uint64
+	checksum uint64
+	done     bool
+	started  bool
+}
+
+// NewRun prepares a run of spec on collector c. Types must have been
+// declared on c's environment.
+func NewRun(spec Spec, c gc.Collector, types Types, seed int64) *Run {
+	return &Run{spec: spec, c: c, types: types, rng: rand.New(rand.NewSource(seed))}
+}
+
+// avgObjBytes estimates the size mix's mean object size.
+func (r *Run) avgObjBytes() int {
+	tw, ts := 0, 0
+	for _, b := range r.spec.Sizes {
+		tw += b.Weight
+		ts += b.Weight * (objmodel.HeaderBytes + (b.MinWords+b.MaxWords)/2*mem.WordSize)
+	}
+	if tw == 0 {
+		return 48
+	}
+	return ts / tw
+}
+
+// start allocates the immortal data and sizes the pool.
+func (r *Run) start() {
+	r.started = true
+	live := uint64(float64(r.spec.MinHeap) * r.spec.LiveFrac)
+	immortalBytes := uint64(float64(live) * r.spec.ImmortalFrac)
+	poolBytes := live - immortalBytes
+	avg := uint64(r.avgObjBytes())
+
+	for b := uint64(0); b < immortalBytes; {
+		slot, sz := r.allocOne()
+		r.immortal = append(r.immortal, slot)
+		b += uint64(sz)
+	}
+	n := int(poolBytes / avg)
+	if n < 8 {
+		n = 8
+	}
+	r.pool = make([]int, n)
+	for i := range r.pool {
+		slot, _ := r.allocOne()
+		r.pool[i] = slot
+	}
+}
+
+// allocOne allocates one object from the size mix, fills its data words,
+// and returns its new root slot and size.
+func (r *Run) allocOne() (slot int, size int) {
+	o, sz := r.allocRaw()
+	slot = r.c.Roots().Add(o)
+	return slot, sz
+}
+
+func (r *Run) pickBand() SizeBand {
+	tw := 0
+	for _, b := range r.spec.Sizes {
+		tw += b.Weight
+	}
+	x := r.rng.Intn(tw)
+	for _, b := range r.spec.Sizes {
+		if x < b.Weight {
+			return b
+		}
+		x -= b.Weight
+	}
+	return r.spec.Sizes[0]
+}
+
+func (r *Run) allocRaw() (objmodel.Ref, int) {
+	b := r.pickBand()
+	words := b.MinWords
+	if b.MaxWords > b.MinWords {
+		words += r.rng.Intn(b.MaxWords - b.MinWords + 1)
+	}
+	var o objmodel.Ref
+	if b.Array {
+		o = r.c.Alloc(r.types.DataArr, words)
+	} else {
+		o = r.c.Alloc(r.types.Node, 0)
+		words = 4
+	}
+	// Initialize a couple of data words (application writes).
+	if words > 0 {
+		r.c.WriteData(o, dataIndexFor(b, 0), r.rng.Uint64())
+	}
+	r.allocd += uint64(objmodel.HeaderBytes + words*mem.WordSize)
+	r.nAllocs++
+	return o, objmodel.HeaderBytes + words*mem.WordSize
+}
+
+// dataIndexFor returns a payload word index that is not a reference slot.
+func dataIndexFor(b SizeBand, i int) int {
+	if b.Array {
+		return i
+	}
+	return 2 + i%2 // node refs live at 0,1
+}
+
+// randomLive returns a random live root slot (immortal or pool).
+func (r *Run) randomLive() int {
+	n := len(r.immortal) + len(r.pool)
+	i := r.rng.Intn(n)
+	if i < len(r.immortal) {
+		return r.immortal[i]
+	}
+	return r.pool[i-len(r.immortal)]
+}
+
+// Step performs up to quantum allocations (plus their mutator work) and
+// reports whether the run still has work left.
+func (r *Run) Step(quantum int) bool {
+	if r.done {
+		return false
+	}
+	if !r.started {
+		r.start()
+	}
+	for q := 0; q < quantum; q++ {
+		if r.allocd >= r.spec.TotalAlloc {
+			r.done = true
+			return false
+		}
+		if r.spec.LargeEvery > 0 && r.nAllocs%uint64(r.spec.LargeEvery) == uint64(r.spec.LargeEvery)-1 {
+			o := r.c.Alloc(r.types.DataArr, r.spec.LargeWords)
+			r.c.WriteData(o, 0, r.rng.Uint64())
+			r.allocd += uint64(objmodel.HeaderBytes + r.spec.LargeWords*mem.WordSize)
+			r.nAllocs++
+			if r.rng.Float64() >= r.spec.TempFrac {
+				// Long-lived large object: replace a pool entry.
+				i := r.rng.Intn(len(r.pool))
+				r.c.Roots().Set(r.pool[i], o)
+			}
+		}
+		o, _ := r.allocRaw()
+		if r.rng.Float64() >= r.spec.TempFrac {
+			// Survives: enters the pool, displacing a random entry.
+			i := r.rng.Intn(len(r.pool))
+			r.c.Roots().Set(r.pool[i], o)
+		}
+		// Application work: touch random live objects.
+		for w := 0; w < r.spec.WorkPerAlloc; w++ {
+			s := r.randomLive()
+			obj := r.c.Roots().Get(s)
+			v := r.c.ReadData(obj, r.dataIndexOf(obj))
+			r.checksum = r.checksum*31 + v
+			if w&3 == 0 {
+				r.c.WriteData(obj, r.dataIndexOf(obj), v+1)
+			}
+		}
+		// Pointer stores between live objects.
+		if r.spec.LinkEvery > 0 && r.nAllocs%uint64(r.spec.LinkEvery) == 0 {
+			src := r.c.Roots().Get(r.randomLive())
+			dst := r.c.Roots().Get(r.randomLive())
+			if r.refSlots(src) > 0 {
+				r.c.WriteRef(src, r.rng.Intn(r.refSlots(src)), dst)
+			}
+		}
+	}
+	return true
+}
+
+// dataIndexOf picks a safe data word index for obj.
+func (r *Run) dataIndexOf(obj objmodel.Ref) int {
+	env := r.c.Env()
+	t, n := env.Types.TypeOf(env.Space, obj)
+	if t.Kind == objmodel.KindArray {
+		if t.ElemPtr || n == 0 {
+			return 0
+		}
+		return r.rng.Intn(n)
+	}
+	return 2 + r.rng.Intn(2)
+}
+
+// refSlots returns the number of reference slots obj has.
+func (r *Run) refSlots(obj objmodel.Ref) int {
+	env := r.c.Env()
+	t, n := env.Types.TypeOf(env.Space, obj)
+	return t.NumRefSlots(n)
+}
+
+// Done reports whether the allocation budget is exhausted.
+func (r *Run) Done() bool { return r.done }
+
+// Finish returns the run summary.
+func (r *Run) Finish() Result {
+	return Result{Spec: r.spec, AllocatedBytes: r.allocd, Allocations: r.nAllocs, Checksum: r.checksum}
+}
+
+// RunToCompletion drives the whole program in one call.
+func (r *Run) RunToCompletion() Result {
+	for r.Step(4096) {
+	}
+	return r.Finish()
+}

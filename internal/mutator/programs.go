@@ -1,0 +1,100 @@
+package mutator
+
+// The benchmark suite (Table 1 of the paper). TotalAlloc and MinHeap are
+// taken directly from the table; the remaining parameters are calibrated
+// to each program's published character: allocation-intensive or not,
+// pointer-rich or array-heavy, large live set or small, plus pseudoJBB's
+// immortal-warehouses-then-short-lived-transactions shape (§5.3.2).
+//
+// The size mixes use the engine's two shapes — 4-word scalar nodes with
+// two reference fields, and pointer-free data arrays — in proportions
+// that land the mean object size and pointer density in the right
+// neighbourhood for each program.
+
+// smallMix: predominantly small scalars with some modest arrays.
+var smallMix = []SizeBand{
+	{Weight: 70, Array: false},
+	{Weight: 20, Array: true, MinWords: 4, MaxWords: 16},
+	{Weight: 10, Array: true, MinWords: 16, MaxWords: 64},
+}
+
+// arrayMix: array-heavy allocation (string/buffer processing).
+var arrayMix = []SizeBand{
+	{Weight: 30, Array: false},
+	{Weight: 40, Array: true, MinWords: 8, MaxWords: 48},
+	{Weight: 30, Array: true, MinWords: 32, MaxWords: 256},
+}
+
+// pointerMix: pointer-rich structures (trees, rule networks).
+var pointerMix = []SizeBand{
+	{Weight: 85, Array: false},
+	{Weight: 15, Array: true, MinWords: 4, MaxWords: 24},
+}
+
+// Programs is the full benchmark suite, in Table 1 order.
+var Programs = []Spec{
+	{
+		Name: "compress", TotalAlloc: 109_190_172, MinHeap: 16_777_216,
+		LiveFrac: 0.45, TempFrac: 0.80, Sizes: arrayMix,
+		LargeEvery: 400, LargeWords: 16384, // the big compression buffers
+		WorkPerAlloc: 24, LinkEvery: 64,
+	},
+	{
+		Name: "jess", TotalAlloc: 267_602_628, MinHeap: 12_582_912,
+		LiveFrac: 0.40, TempFrac: 0.93, Sizes: pointerMix,
+		WorkPerAlloc: 6, LinkEvery: 16,
+	},
+	{
+		Name: "raytrace", TotalAlloc: 92_381_448, MinHeap: 14_680_064,
+		LiveFrac: 0.42, TempFrac: 0.90, Sizes: smallMix,
+		WorkPerAlloc: 10, LinkEvery: 48,
+	},
+	{
+		Name: "db", TotalAlloc: 61_216_580, MinHeap: 19_922_944,
+		LiveFrac: 0.50, TempFrac: 0.70, Sizes: smallMix,
+		WorkPerAlloc: 40, LinkEvery: 8, // index churn over a large live set
+	},
+	{
+		Name: "javac", TotalAlloc: 181_468_984, MinHeap: 19_922_944,
+		LiveFrac: 0.48, TempFrac: 0.85, Sizes: pointerMix,
+		WorkPerAlloc: 12, LinkEvery: 12, // AST building and rewriting
+	},
+	{
+		Name: "jack", TotalAlloc: 250_486_124, MinHeap: 11_534_336,
+		LiveFrac: 0.40, TempFrac: 0.94, Sizes: arrayMix,
+		WorkPerAlloc: 6, LinkEvery: 32,
+	},
+	{
+		Name: "ipsixql", TotalAlloc: 350_889_840, MinHeap: 11_534_336,
+		LiveFrac: 0.40, TempFrac: 0.93, Sizes: pointerMix,
+		WorkPerAlloc: 5, LinkEvery: 20, // XML tree queries
+	},
+	{
+		Name: "jython", TotalAlloc: 770_632_824, MinHeap: 11_534_336,
+		LiveFrac: 0.40, TempFrac: 0.95, Sizes: smallMix,
+		WorkPerAlloc: 4, LinkEvery: 24, // interpreter frames, die young
+	},
+	{
+		Name: "pseudojbb", TotalAlloc: 233_172_290, MinHeap: 35_651_584,
+		LiveFrac: 0.55, ImmortalFrac: 0.85, TempFrac: 0.92, Sizes: smallMix,
+		LargeEvery: 2000, LargeWords: 4096,
+		WorkPerAlloc: 14, LinkEvery: 16, // warehouses + short transactions
+	},
+}
+
+// ByName returns the named program spec.
+func ByName(name string) (Spec, bool) {
+	for _, p := range Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Spec{}, false
+}
+
+// PseudoJBB is the program used throughout the memory-pressure
+// experiments (§5.3).
+func PseudoJBB() Spec {
+	p, _ := ByName("pseudojbb")
+	return p
+}

@@ -1,0 +1,298 @@
+// Package sim assembles whole experiments: a simulated machine, one or
+// more JVM processes running benchmark programs under a chosen collector,
+// and the signalmem memory-pressure tool of §5.1. It produces the
+// metrics the paper reports (execution time, pause times, BMU curves,
+// fault counts).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/collectors"
+	"bookmarkgc/internal/core"
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/vmm"
+)
+
+// CollectorKind names one of the implemented collectors.
+type CollectorKind string
+
+// The collectors of §5, plus the paper's BC variants.
+const (
+	BC           CollectorKind = "BC"
+	BCResizeOnly CollectorKind = "BCResizeOnly"
+	GenMS        CollectorKind = "GenMS"
+	GenCopy      CollectorKind = "GenCopy"
+	CopyMS       CollectorKind = "CopyMS"
+	MarkSweep    CollectorKind = "MarkSweep"
+	SemiSpace    CollectorKind = "SemiSpace"
+	GenMSFixed   CollectorKind = "GenMSFixed"
+	GenCopyFixed CollectorKind = "GenCopyFixed"
+
+	// Ablation and extension variants of BC (§7, DESIGN.md).
+	BCNoAggressive CollectorKind = "BC-NoAggressiveDiscard"
+	BCPointerFree  CollectorKind = "BC-PointerFreeVictims"
+	BCRegrow       CollectorKind = "BC-Regrow"
+
+	// GenMSAdvisor is GenMS with an Alonso–Appel heap-sizing advisor —
+	// the related-work approach (§6) that resizes but does not cooperate.
+	GenMSAdvisor CollectorKind = "GenMSAdvisor"
+)
+
+// AllKinds lists every collector for sweeps.
+var AllKinds = []CollectorKind{BC, GenMS, GenCopy, CopyMS, MarkSweep, SemiSpace}
+
+// fixedNursery sizes Figure 5(b)'s fixed nursery: 4 MB against the
+// paper's 77 MB heap, kept proportional so scaled-down experiments
+// exercise the same policy.
+func fixedNursery(env *gc.Env) int {
+	n := env.HeapPages * 4 / 77
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// NewCollector instantiates kind on env.
+func NewCollector(kind CollectorKind, env *gc.Env) gc.Collector {
+	switch kind {
+	case BC:
+		return core.New(env, core.Config{})
+	case BCResizeOnly:
+		return core.New(env, core.Config{ResizeOnly: true})
+	case BCNoAggressive:
+		return core.New(env, core.Config{NoAggressiveDiscard: true})
+	case BCPointerFree:
+		return core.New(env, core.Config{Victim: core.VictimPreferPointerFree})
+	case BCRegrow:
+		return core.New(env, core.Config{Regrow: true})
+	case GenMS:
+		return collectors.NewGenMS(env)
+	case GenMSAdvisor:
+		return collectors.NewAdvisedGenMS(env)
+	case GenMSFixed:
+		c := collectors.NewGenMS(env)
+		c.FixedNurseryPages = fixedNursery(env)
+		return c
+	case GenCopy:
+		return collectors.NewGenCopy(env)
+	case GenCopyFixed:
+		c := collectors.NewGenCopy(env)
+		c.FixedNurseryPages = fixedNursery(env)
+		return c
+	case CopyMS:
+		return collectors.NewCopyMS(env)
+	case MarkSweep:
+		return collectors.NewMarkSweep(env)
+	case SemiSpace:
+		return collectors.NewSemiSpace(env)
+	}
+	panic(fmt.Sprintf("sim: unknown collector %q", kind))
+}
+
+// Pressure describes the memory-pressure schedule of one experiment.
+type Pressure struct {
+	// InitialBytes are pinned at time StartAt (signalmem's first grab).
+	InitialBytes uint64
+	// GrowBytes are pinned every GrowEvery until TargetAvailBytes of the
+	// machine remain unpinned (§5.3.2 uses 1 MB per 100 ms).
+	GrowBytes        uint64
+	GrowEvery        time.Duration
+	TargetAvailBytes uint64
+	// StartAt delays the onset (the paper applies pressure only to the
+	// measured iteration).
+	StartAt time.Duration
+}
+
+// SteadyPressure removes frac of the heap size immediately (Figure 3).
+func SteadyPressure(heapBytes uint64, frac float64) *Pressure {
+	return &Pressure{InitialBytes: uint64(frac * float64(heapBytes))}
+}
+
+// DynamicPressure is §5.3.2's schedule: grab 30 MB, then 1 MB every
+// 100 ms until only availBytes of the machine remain available.
+func DynamicPressure(availBytes uint64) *Pressure {
+	return &Pressure{
+		InitialBytes:     30 << 20,
+		GrowBytes:        1 << 20,
+		GrowEvery:        100 * time.Millisecond,
+		TargetAvailBytes: availBytes,
+	}
+}
+
+// SignalMem pins memory on a schedule, like the paper's signalmem tool
+// (mmap + touch + mlock at a configured rate).
+type SignalMem struct {
+	v *vmm.VMM
+	p Pressure
+}
+
+// StartSignalMem arms the schedule on the machine's clock.
+func StartSignalMem(v *vmm.VMM, p Pressure) *SignalMem {
+	s := &SignalMem{v: v, p: p}
+	v.Clock.Schedule(p.StartAt, s.initial)
+	return s
+}
+
+func (s *SignalMem) initial() {
+	pin := s.p.InitialBytes
+	// Never pin past the configured availability target (nor the whole
+	// machine): signalmem stops when the desired level is reached (§5.1).
+	total := uint64(s.v.TotalFrames()) * mem.PageSize
+	floor := s.p.TargetAvailBytes
+	if total > floor && pin > total-floor {
+		pin = total - floor
+	}
+	s.v.Pin(int(pin / mem.PageSize))
+	if s.p.GrowBytes > 0 {
+		s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
+	}
+}
+
+func (s *SignalMem) grow() {
+	avail := uint64(s.v.TotalFrames()-s.v.PinnedFrames()) * mem.PageSize
+	if avail <= s.p.TargetAvailBytes {
+		return
+	}
+	want := avail - s.p.TargetAvailBytes
+	step := s.p.GrowBytes
+	if step > want {
+		step = want
+	}
+	s.v.Pin(int(step / mem.PageSize))
+	s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
+}
+
+// RunConfig describes one JVM-on-one-machine experiment.
+type RunConfig struct {
+	Collector CollectorKind
+	Program   mutator.Spec
+	HeapBytes uint64
+	PhysBytes uint64
+	Pressure  *Pressure // nil = none
+	Seed      int64
+	Costs     *vmm.Costs // nil = DefaultCosts
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Config      RunConfig
+	Timeline    metrics.Timeline
+	Mutator     mutator.Result
+	GCStats     gc.Stats
+	ProcStats   vmm.ProcStats
+	ElapsedSecs float64
+}
+
+// Run executes one configuration to completion.
+func Run(cfg RunConfig) Result {
+	clock := vmm.NewClock()
+	costs := vmm.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	v := vmm.New(clock, cfg.PhysBytes, costs)
+	env := gc.NewEnv(v, string(cfg.Collector), cfg.HeapBytes)
+	types := mutator.DeclareTypes(env)
+	col := NewCollector(cfg.Collector, env)
+	if cfg.Pressure != nil {
+		StartSignalMem(v, *cfg.Pressure)
+	}
+	run := mutator.NewRun(cfg.Program, col, types, cfg.Seed)
+
+	start := clock.Now()
+	col.Stats().Timeline.Start = start
+	mres := run.RunToCompletion()
+	col.Stats().Timeline.End = clock.Now()
+
+	return Result{
+		Config:      cfg,
+		Timeline:    col.Stats().Timeline,
+		Mutator:     mres,
+		GCStats:     *col.Stats(),
+		ProcStats:   env.Proc.Stats(),
+		ElapsedSecs: (clock.Now() - start).Seconds(),
+	}
+}
+
+// MultiConfig describes n identical JVMs sharing one machine (§5.3.3).
+type MultiConfig struct {
+	Collector CollectorKind
+	Program   mutator.Spec
+	HeapBytes uint64
+	PhysBytes uint64
+	JVMs      int
+	Quantum   int // allocations per scheduling quantum
+	Seed      int64
+	Costs     *vmm.Costs
+}
+
+// RunMulti round-robins the JVMs on one simulated CPU until all complete,
+// returning one Result per JVM. Total elapsed time is shared; per-JVM
+// pause statistics are their own.
+func RunMulti(cfg MultiConfig) []Result {
+	clock := vmm.NewClock()
+	costs := vmm.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 512
+	}
+	v := vmm.New(clock, cfg.PhysBytes, costs)
+
+	type jvm struct {
+		env *gc.Env
+		col gc.Collector
+		run *mutator.Run
+	}
+	jvms := make([]*jvm, cfg.JVMs)
+	for i := range jvms {
+		env := gc.NewEnv(v, fmt.Sprintf("%s-%d", cfg.Collector, i), cfg.HeapBytes)
+		types := mutator.DeclareTypes(env)
+		col := NewCollector(cfg.Collector, env)
+		jvms[i] = &jvm{
+			env: env,
+			col: col,
+			run: mutator.NewRun(cfg.Program, col, types, cfg.Seed+int64(i)),
+		}
+		col.Stats().Timeline.Start = clock.Now()
+	}
+
+	running := cfg.JVMs
+	for running > 0 {
+		running = 0
+		for _, j := range jvms {
+			if j.run.Done() {
+				continue
+			}
+			if j.run.Step(cfg.Quantum) {
+				running++
+			} else {
+				j.col.Stats().Timeline.End = clock.Now()
+			}
+		}
+	}
+	out := make([]Result, cfg.JVMs)
+	for i, j := range jvms {
+		if j.col.Stats().Timeline.End == 0 {
+			j.col.Stats().Timeline.End = clock.Now()
+		}
+		out[i] = Result{
+			Config: RunConfig{
+				Collector: cfg.Collector, Program: cfg.Program,
+				HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes,
+			},
+			Timeline:    j.col.Stats().Timeline,
+			Mutator:     j.run.Finish(),
+			GCStats:     *j.col.Stats(),
+			ProcStats:   j.env.Proc.Stats(),
+			ElapsedSecs: (clock.Now() - j.col.Stats().Timeline.Start).Seconds(),
+		}
+	}
+	return out
+}

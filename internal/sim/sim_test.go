@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+)
+
+// tinyJBB is a scaled-down pseudoJBB for fast tests.
+func tinyJBB() mutator.Spec { return mutator.PseudoJBB().Scale(0.02) }
+
+func TestRunEveryCollector(t *testing.T) {
+	for _, kind := range append([]CollectorKind{BCResizeOnly, GenMSFixed, GenCopyFixed}, AllKinds...) {
+		t.Run(string(kind), func(t *testing.T) {
+			res := Run(RunConfig{
+				Collector: kind,
+				Program:   tinyJBB(),
+				HeapBytes: 4 << 20,
+				PhysBytes: 256 << 20,
+				Seed:      1,
+			})
+			if res.Mutator.AllocatedBytes < tinyJBB().TotalAlloc {
+				t.Fatalf("under-allocated: %d", res.Mutator.AllocatedBytes)
+			}
+			if res.ElapsedSecs <= 0 {
+				t.Fatal("no simulated time elapsed")
+			}
+			if res.Timeline.Count() == 0 {
+				t.Fatal("no collections")
+			}
+		})
+	}
+}
+
+func TestPressureDegradesObliviousCollector(t *testing.T) {
+	// Under steady pressure, GenMS must run slower and fault more than
+	// without pressure — the paper's core phenomenon.
+	prog := tinyJBB()
+	heap := uint64(8 << 20)
+	base := Run(RunConfig{
+		Collector: GenMS, Program: prog, HeapBytes: heap,
+		PhysBytes: 64 << 20, Seed: 1,
+	})
+	// Pin down to ~40% of the heap remaining for the whole machine.
+	squeezed := Run(RunConfig{
+		Collector: GenMS, Program: prog, HeapBytes: heap,
+		PhysBytes: 64 << 20, Seed: 1,
+		Pressure: &Pressure{InitialBytes: 64<<20 - heap*4/10},
+	})
+	if squeezed.ProcStats.MajorFaults == 0 {
+		t.Fatal("pressure produced no major faults for GenMS")
+	}
+	if squeezed.ElapsedSecs <= base.ElapsedSecs {
+		t.Fatalf("pressure did not slow GenMS: %.3fs vs %.3fs",
+			squeezed.ElapsedSecs, base.ElapsedSecs)
+	}
+}
+
+func TestBCBeatsGenMSUnderPressure(t *testing.T) {
+	// The headline claim, at miniature scale: under Figure 3's steady
+	// pressure (signalmem removes 60% of the heap; the machine is sized
+	// so the heap barely fits beforehand), BC finishes several times
+	// faster than GenMS and takes fewer GC-time major faults.
+	prog := mutator.PseudoJBB().Scale(0.04)
+	heap := mem.RoundUpPage(77 * (1 << 20) * 4 / 100)
+	phys := mem.RoundUpPage(100 * (1 << 20) * 4 / 100)
+	press := SteadyPressure(heap, 0.6)
+	bc := Run(RunConfig{Collector: BC, Program: prog, HeapBytes: heap,
+		PhysBytes: phys, Seed: 1, Pressure: press})
+	gen := Run(RunConfig{Collector: GenMS, Program: prog, HeapBytes: heap,
+		PhysBytes: phys, Seed: 1, Pressure: press})
+	if bc.ElapsedSecs*2 >= gen.ElapsedSecs {
+		t.Fatalf("BC %.3fs not clearly faster than GenMS %.3fs under pressure",
+			bc.ElapsedSecs, gen.ElapsedSecs)
+	}
+	if bc.Timeline.AvgPause() >= gen.Timeline.AvgPause() {
+		t.Fatalf("BC avg pause %v not below GenMS %v",
+			bc.Timeline.AvgPause(), gen.Timeline.AvgPause())
+	}
+	var bcGCFaults, genGCFaults uint64
+	for _, p := range bc.Timeline.Pauses {
+		bcGCFaults += p.MajorFaults
+	}
+	for _, p := range gen.Timeline.Pauses {
+		genGCFaults += p.MajorFaults
+	}
+	if bcGCFaults > genGCFaults {
+		t.Fatalf("BC took more GC faults (%d) than GenMS (%d)", bcGCFaults, genGCFaults)
+	}
+}
+
+func TestDynamicPressureSchedule(t *testing.T) {
+	res := Run(RunConfig{
+		Collector: BC,
+		Program:   tinyJBB(),
+		HeapBytes: 8 << 20,
+		PhysBytes: 64 << 20,
+		Seed:      2,
+		Pressure:  DynamicPressure(16 << 20),
+	})
+	if res.ElapsedSecs <= 0 {
+		t.Fatal("run failed")
+	}
+}
+
+func TestSteadyPressureHelper(t *testing.T) {
+	p := SteadyPressure(100<<20, 0.6)
+	if p.InitialBytes != 60<<20 {
+		t.Fatalf("InitialBytes = %d", p.InitialBytes)
+	}
+}
+
+func TestSignalMemReachesTarget(t *testing.T) {
+	res := Run(RunConfig{
+		Collector: BC,
+		Program:   mutator.PseudoJBB().Scale(0.05),
+		HeapBytes: 12 << 20,
+		PhysBytes: 64 << 20,
+		Seed:      3,
+		Pressure: &Pressure{
+			InitialBytes:     8 << 20,
+			GrowBytes:        1 << 20,
+			GrowEvery:        100 * time.Microsecond, // fast, to finish within the run
+			TargetAvailBytes: 24 << 20,
+		},
+	})
+	_ = res
+}
+
+func TestRunMultiTwoJVMs(t *testing.T) {
+	rs := RunMulti(MultiConfig{
+		Collector: BC,
+		Program:   mutator.PseudoJBB().Scale(0.01),
+		HeapBytes: 6 << 20,
+		PhysBytes: 64 << 20,
+		JVMs:      2,
+		Seed:      4,
+	})
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Mutator.AllocatedBytes == 0 {
+			t.Fatalf("jvm %d did no work", i)
+		}
+		if r.Timeline.End <= r.Timeline.Start {
+			t.Fatalf("jvm %d has empty timeline", i)
+		}
+	}
+}
+
+func TestUnknownCollectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(RunConfig{Collector: "Zap", Program: tinyJBB(), HeapBytes: 8 << 20, PhysBytes: 64 << 20})
+}
+
+func TestAllCollectorsComputeIdenticalChecksum(t *testing.T) {
+	// The mutator's checksum folds every value it reads; it depends only
+	// on program and seed. Any divergence across collectors means a
+	// collector corrupted the heap — a differential oracle over the
+	// whole suite of collectors, including under memory pressure.
+	prog := mutator.PseudoJBB().Scale(0.02)
+	heap := uint64(4 << 20)
+	var want uint64
+	for i, kind := range append([]CollectorKind{BCResizeOnly, GenMSFixed, GenCopyFixed}, AllKinds...) {
+		res := Run(RunConfig{
+			Collector: kind, Program: prog, HeapBytes: heap,
+			PhysBytes: 64 << 20, Seed: 99,
+			Pressure: SteadyPressure(heap, 0.5),
+		})
+		if i == 0 {
+			want = res.Mutator.Checksum
+			if want == 0 {
+				t.Fatal("checksum never accumulated")
+			}
+			continue
+		}
+		if res.Mutator.Checksum != want {
+			t.Fatalf("%s checksum %#x differs from %#x: heap corruption",
+				kind, res.Mutator.Checksum, want)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+// Package vmm simulates the extended Linux virtual memory manager the
+// paper builds on (§4.1): a global approximate-LRU replacement policy
+// (an active list managed by a clock algorithm plus an inactive FIFO),
+// batched eviction, demand paging with a disk cost model, and the
+// cooperative extensions — eviction-scheduled and page-reloaded
+// notifications (modeled on queueable real-time signals), the
+// vm_relinquish system call, madvise(MADV_DONTNEED) discard, mprotect
+// protection faults, and per-page process ownership (the rmap patch).
+//
+// Every access any collector or mutator makes flows through Proc.Touch,
+// so paging behaviour is an emergent property of the algorithms running
+// above, exactly as on the paper's modified 2.4.20 kernel.
+package vmm
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/mem"
+)
+
+// PageState is the residency state of one virtual page.
+type PageState uint8
+
+const (
+	// Fresh pages have never been touched (or were discarded); the first
+	// touch is a zero-fill minor fault.
+	Fresh PageState = iota
+	// Resident pages occupy a physical frame.
+	Resident
+	// Evicted pages live on the swap device; touching one is a major
+	// fault that costs a disk access.
+	Evicted
+)
+
+func (s PageState) String() string {
+	switch s {
+	case Fresh:
+		return "fresh"
+	case Resident:
+		return "resident"
+	case Evicted:
+		return "evicted"
+	}
+	return "invalid"
+}
+
+// Costs is the simulation's latency model. The defaults preserve the
+// paper's essential ratio: a disk access is about six orders of magnitude
+// more expensive than a memory access.
+type Costs struct {
+	WordAccess time.Duration // every word read/write
+	MinorFault time.Duration // first touch of a fresh page (zero fill)
+	MajorFault time.Duration // reload of an evicted page from disk
+	EvictIO    time.Duration // CPU-visible slice of an asynchronous write-back
+	Signal     time.Duration // delivering one notification to the runtime
+}
+
+// DefaultCosts returns the calibration used throughout the experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		WordAccess: 2 * time.Nanosecond,
+		MinorFault: 2 * time.Microsecond,
+		MajorFault: 5 * time.Millisecond,
+		EvictIO:    50 * time.Microsecond,
+		Signal:     6 * time.Microsecond,
+	}
+}
+
+// Handler receives the kernel-to-runtime notifications of the paper's
+// extended kernel. Both callbacks run synchronously, modeling lossless
+// queueable real-time signals (§4.1).
+type Handler interface {
+	// EvictionScheduled fires just before page p is unmapped for eviction.
+	// The handler may touch p to veto the choice (the VMM then picks
+	// another victim), discard empty pages to relieve pressure, or scan
+	// and relinquish the page (bookmarking).
+	EvictionScheduled(p mem.PageID)
+	// PageReloaded fires when a page the runtime has been told about comes
+	// back: either a major fault on an evicted page (wasEvicted true) or a
+	// protection fault on a page the runtime had protected (wasEvicted
+	// false).
+	PageReloaded(p mem.PageID, wasEvicted bool)
+}
+
+type pageInfo struct {
+	state       PageState
+	referenced  bool
+	protected   bool
+	locked      bool
+	servicing   bool // fault in progress: page is held, like the kernel page lock
+	surrendered bool // relinquished; evict without re-notifying
+	queued      bool // currently has a live queue entry
+	stamp       uint32
+}
+
+type pageRef struct {
+	pid   int32
+	page  mem.PageID
+	stamp uint32
+}
+
+// Stats are global VMM counters.
+type Stats struct {
+	MinorFaults  uint64
+	MajorFaults  uint64
+	Evictions    uint64
+	Discards     uint64
+	Notification uint64
+	Reclaims     uint64
+}
+
+// VMM is the simulated virtual memory manager. One VMM instance models
+// one machine; multiple Procs share its physical frames.
+type VMM struct {
+	Clock *Clock
+	costs Costs
+
+	frames int // total physical frames
+	pinned int // frames mlocked away by signalmem
+	used   int // resident frames across all procs
+
+	lowWater int // reclaim trigger threshold (free frames)
+	batch    int // eviction cluster size (SWAP_CLUSTER_MAX)
+
+	procs     []*Proc
+	active    []pageRef
+	inactive  []pageRef
+	reclaimIn bool
+
+	// reclaimStuck is set when a reclaim pass cannot reach its target
+	// (every page referenced, vetoed, or locked). Until something is
+	// freed — or a retry interval elapses — further page-ins skip the
+	// futile scan instead of re-running it, as a real kernel would back
+	// off rather than livelock in direct reclaim.
+	reclaimStuck  bool
+	sinceStuckTry int
+
+	stats Stats
+
+	// OnMajorFault, when set, observes every major fault (pid, page) —
+	// a debugging/tracing hook used by diagnostics and tests.
+	OnMajorFault func(pid int32, page mem.PageID)
+}
+
+// New creates a machine with physBytes of physical memory.
+func New(clock *Clock, physBytes uint64, costs Costs) *VMM {
+	frames := int(physBytes / mem.PageSize)
+	if frames < 64 {
+		panic("vmm: physical memory too small")
+	}
+	return &VMM{
+		Clock:    clock,
+		costs:    costs,
+		frames:   frames,
+		lowWater: 32,
+		batch:    32,
+	}
+}
+
+// Costs returns the machine's latency model.
+func (v *VMM) Costs() Costs { return v.costs }
+
+// TotalFrames returns physical memory size in frames.
+func (v *VMM) TotalFrames() int { return v.frames }
+
+// FreeFrames returns the number of unallocated, unpinned frames.
+func (v *VMM) FreeFrames() int { return v.frames - v.pinned - v.used }
+
+// UsedFrames returns the number of resident frames across all processes.
+func (v *VMM) UsedFrames() int { return v.used }
+
+// PinnedFrames returns the number of frames pinned via Pin.
+func (v *VMM) PinnedFrames() int { return v.pinned }
+
+// Stats returns global counters.
+func (v *VMM) Stats() Stats { return v.stats }
+
+// Pin removes n frames from circulation, as signalmem's mmap+touch+mlock
+// does (§5.1). Pinning under pressure triggers reclaim immediately.
+func (v *VMM) Pin(n int) {
+	if n <= 0 {
+		return
+	}
+	v.pinned += n
+	if v.pinned > v.frames {
+		v.pinned = v.frames
+	}
+	if v.FreeFrames() < v.lowWater {
+		v.reclaim()
+	}
+}
+
+// Unpin returns n pinned frames to circulation.
+func (v *VMM) Unpin(n int) {
+	v.pinned -= n
+	if v.pinned < 0 {
+		v.pinned = 0
+	}
+}
+
+// NewProc creates a process owning a fresh address space of spaceBytes.
+func (v *VMM) NewProc(name string, spaceBytes uint64) *Proc {
+	p := &Proc{
+		vmm:   v,
+		id:    int32(len(v.procs)),
+		name:  name,
+		pages: make([]pageInfo, mem.RoundUpPage(spaceBytes)/mem.PageSize),
+	}
+	p.space = mem.NewSpace(spaceBytes, p)
+	v.procs = append(v.procs, p)
+	return p
+}
+
+// makeResident allocates a frame for (p, pg), reclaiming if needed.
+func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
+	v.used++
+	pi := &p.pages[pg]
+	pi.state = Resident
+	pi.referenced = true
+	v.pushActive(p, pg)
+	if v.FreeFrames() < v.lowWater && !v.reclaimIn {
+		if v.reclaimStuck {
+			v.sinceStuckTry++
+			if v.sinceStuckTry < v.batch {
+				return
+			}
+			v.sinceStuckTry = 0
+		}
+		v.reclaim()
+	}
+}
+
+func (v *VMM) pushActive(p *Proc, pg mem.PageID) {
+	pi := &p.pages[pg]
+	pi.stamp++
+	pi.queued = true
+	v.active = append(v.active, pageRef{p.id, pg, pi.stamp})
+	v.maybeCompactQueues()
+}
+
+func (v *VMM) pushInactive(p *Proc, pg mem.PageID) {
+	pi := &p.pages[pg]
+	pi.stamp++
+	pi.queued = true
+	v.inactive = append(v.inactive, pageRef{p.id, pg, pi.stamp})
+	v.maybeCompactQueues()
+}
+
+// maybeCompactQueues drops lazily-invalidated entries once they dominate,
+// keeping reclaim passes proportional to resident pages rather than to
+// historical churn.
+func (v *VMM) maybeCompactQueues() {
+	if len(v.active)+len(v.inactive) < 4*(v.used+64) {
+		return
+	}
+	compact := func(q []pageRef) []pageRef {
+		out := q[:0]
+		for _, r := range q {
+			if _, _, ok := v.valid(r); ok {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	v.active = compact(v.active)
+	v.inactive = compact(v.inactive)
+}
+
+// valid reports whether a queue entry still refers to a live queued page.
+func (v *VMM) valid(r pageRef) (*Proc, *pageInfo, bool) {
+	p := v.procs[r.pid]
+	pi := &p.pages[r.page]
+	if !pi.queued || pi.stamp != r.stamp || pi.state != Resident {
+		return p, pi, false
+	}
+	return p, pi, true
+}
+
+// reclaim frees frames until the machine is back above the low watermark
+// (plus one eviction batch of slack). It models kswapd plus direct
+// reclaim: refill the inactive list from the active list with a clock
+// pass, then evict from the head of the inactive FIFO, notifying
+// registered owners first.
+func (v *VMM) reclaim() {
+	if v.reclaimIn {
+		return
+	}
+	v.reclaimIn = true
+	defer func() { v.reclaimIn = false }()
+	v.stats.Reclaims++
+
+	target := v.lowWater + v.batch
+	defer func() { v.reclaimStuck = v.FreeFrames() < v.lowWater }()
+	// Bound total scanning so a fully-referenced memory still terminates:
+	// two full passes clear every reference bit and then evict.
+	budget := 2*(len(v.active)+len(v.inactive)) + 4*v.batch
+	for v.FreeFrames() < target && budget > 0 {
+		budget--
+		if len(v.inactive) < v.batch {
+			v.refillInactive()
+		}
+		if len(v.inactive) == 0 {
+			if len(v.active) == 0 {
+				break // nothing evictable: every page locked or gone
+			}
+			continue
+		}
+		r := v.inactive[0]
+		v.inactive = v.inactive[1:]
+		p, pi, ok := v.valid(r)
+		if !ok {
+			continue
+		}
+		pi.queued = false
+		if pi.locked || pi.servicing {
+			v.pushActive(p, r.page)
+			continue
+		}
+		if pi.referenced && !pi.surrendered {
+			// Second chance: recently used, promote back to active.
+			pi.referenced = false
+			v.pushActive(p, r.page)
+			continue
+		}
+		// Schedule the page for eviction: notify the owner first, unless
+		// the page was voluntarily surrendered (already processed).
+		if p.handler != nil && !pi.surrendered {
+			v.stats.Notification++
+			v.Clock.Advance(v.costs.Signal)
+			p.handler.EvictionScheduled(r.page)
+			// The handler may have touched the page (vetoing eviction),
+			// locked it, or discarded it altogether.
+			if pi.state != Resident || pi.referenced || pi.locked {
+				if pi.state == Resident && !pi.queued {
+					v.pushActive(p, r.page)
+				}
+				continue
+			}
+		}
+		v.evict(p, r.page)
+	}
+}
+
+// refillInactive runs one clock pass over the active list, moving
+// unreferenced pages to the inactive FIFO and giving referenced pages a
+// second chance.
+func (v *VMM) refillInactive() {
+	moved, scanned := 0, 0
+	limit := len(v.active)
+	for moved < v.batch && scanned < limit && len(v.active) > 0 {
+		scanned++
+		r := v.active[0]
+		v.active = v.active[1:]
+		p, pi, ok := v.valid(r)
+		if !ok {
+			continue
+		}
+		pi.queued = false
+		if pi.locked || pi.servicing {
+			v.pushActive(p, r.page)
+			continue
+		}
+		if pi.referenced {
+			pi.referenced = false
+			v.pushActive(p, r.page)
+			continue
+		}
+		v.pushInactive(p, r.page)
+		moved++
+	}
+}
+
+// evict writes (p, pg) to the swap device and frees its frame.
+func (v *VMM) evict(p *Proc, pg mem.PageID) {
+	pi := &p.pages[pg]
+	pi.state = Evicted
+	pi.protected = false
+	pi.surrendered = false
+	pi.queued = false
+	v.used--
+	v.stats.Evictions++
+	p.stats.Evictions++
+	v.Clock.Advance(v.costs.EvictIO)
+}
+
+// ProcStats are per-process counters.
+type ProcStats struct {
+	MinorFaults uint64
+	MajorFaults uint64
+	Evictions   uint64
+	Discards    uint64
+	ProtFaults  uint64
+}
+
+// Proc is one process: an address space plus its page table. It
+// implements mem.Toucher, so it is the Space's access observer.
+type Proc struct {
+	vmm     *VMM
+	id      int32
+	name    string
+	space   *mem.Space
+	pages   []pageInfo
+	handler Handler
+	stats   ProcStats
+}
+
+// Space returns the process's address space.
+func (p *Proc) Space() *mem.Space { return p.space }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Stats returns per-process fault counters.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Register subscribes the runtime to paging notifications, as the paper's
+// runtime registers with the extended kernel at startup.
+func (p *Proc) Register(h Handler) { p.handler = h }
+
+// Touch implements mem.Toucher: it is called for every word access.
+func (p *Proc) Touch(pg mem.PageID, write bool) {
+	v := p.vmm
+	v.Clock.Advance(v.costs.WordAccess)
+	pi := &p.pages[pg]
+	switch pi.state {
+	case Fresh:
+		v.stats.MinorFaults++
+		p.stats.MinorFaults++
+		v.Clock.Advance(v.costs.MinorFault)
+		// The page is locked for the duration of fault service, as the
+		// kernel's page lock does: reclaim triggered while mapping the
+		// frame must not steal it back.
+		pi.servicing = true
+		v.makeResident(p, pg)
+		pi.servicing = false
+	case Evicted:
+		v.stats.MajorFaults++
+		p.stats.MajorFaults++
+		if v.OnMajorFault != nil {
+			v.OnMajorFault(p.id, pg)
+		}
+		v.Clock.Advance(v.costs.MajorFault)
+		pi.servicing = true
+		v.makeResident(p, pg)
+		if p.handler != nil {
+			v.stats.Notification++
+			v.Clock.Advance(v.costs.Signal)
+			p.handler.PageReloaded(pg, true)
+		}
+		pi.servicing = false
+	case Resident:
+		pi.referenced = true
+		pi.surrendered = false
+		if pi.protected {
+			pi.protected = false
+			p.stats.ProtFaults++
+			if p.handler != nil {
+				v.stats.Notification++
+				v.Clock.Advance(v.costs.Signal)
+				p.handler.PageReloaded(pg, false)
+			}
+		}
+	}
+	_ = write
+}
+
+// State returns the residency state of page pg.
+func (p *Proc) State(pg mem.PageID) PageState { return p.pages[pg].state }
+
+// Resident reports whether pg occupies a frame.
+func (p *Proc) Resident(pg mem.PageID) bool { return p.pages[pg].state == Resident }
+
+// Discard models madvise(MADV_DONTNEED): the page's frame (or swap slot)
+// is released and its contents are dropped; the next touch is a cheap
+// zero-fill fault (§3.3.2).
+func (p *Proc) Discard(pg mem.PageID) {
+	pi := &p.pages[pg]
+	switch pi.state {
+	case Resident:
+		p.vmm.used--
+	case Fresh:
+		// Nothing to drop, but still zero below for uniformity.
+	}
+	pi.state = Fresh
+	pi.referenced = false
+	pi.protected = false
+	pi.surrendered = false
+	pi.queued = false // lazy-invalidates any queue entry via stamp
+	pi.stamp++
+	p.space.ZeroPageRaw(pg)
+	p.vmm.stats.Discards++
+	p.stats.Discards++
+}
+
+// Relinquish models the paper's new vm_relinquish system call: the
+// process voluntarily surrenders pages, which the VMM moves to the end of
+// the inactive queue to be swapped out quickly, without re-notification
+// (§3.4). Non-resident pages are ignored.
+func (p *Proc) Relinquish(pgs []mem.PageID) {
+	for _, pg := range pgs {
+		pi := &p.pages[pg]
+		if pi.state != Resident || pi.locked {
+			continue
+		}
+		pi.surrendered = true
+		pi.referenced = false
+		pi.queued = false
+		pi.stamp++
+		p.vmm.pushInactive(p, pg)
+	}
+	// Relinquished pages are reclaimed at the next memory shortage; if the
+	// machine is already short, collect them now.
+	if p.vmm.FreeFrames() < p.vmm.lowWater && !p.vmm.reclaimIn {
+		p.vmm.reclaim()
+	}
+}
+
+// Protect disables access to a resident page (mprotect PROT_NONE). The
+// next touch raises a protection fault delivered via PageReloaded. BC uses
+// this to close the race between scanning a page and its eviction (§3.4).
+func (p *Proc) Protect(pg mem.PageID) {
+	pi := &p.pages[pg]
+	if pi.state == Resident {
+		pi.protected = true
+	}
+}
+
+// Unprotect re-enables access without a fault.
+func (p *Proc) Unprotect(pg mem.PageID) { p.pages[pg].protected = false }
+
+// Protected reports whether the page is access-protected.
+func (p *Proc) Protected(pg mem.PageID) bool { return p.pages[pg].protected }
+
+// Lock pins a resident page in memory (mlock); it will never be chosen
+// for eviction. Touches the page in first if needed.
+func (p *Proc) Lock(pg mem.PageID) {
+	if p.pages[pg].state != Resident {
+		p.Touch(pg, true)
+	}
+	p.pages[pg].locked = true
+}
+
+// Unlock releases an mlock.
+func (p *Proc) Unlock(pg mem.PageID) { p.pages[pg].locked = false }
+
+// FreeFramesHint exposes the machine's free-frame count — the "available
+// memory" figure a cooperative runtime may consult (as the heap-sizing
+// advisors in the paper's related work do).
+func (p *Proc) FreeFramesHint() int { return p.vmm.FreeFrames() }
+
+// ResidentPages returns the number of this process's resident pages.
+func (p *Proc) ResidentPages() int {
+	n := 0
+	for i := range p.pages {
+		if p.pages[i].state == Resident {
+			n++
+		}
+	}
+	return n
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Proc) String() string {
+	return fmt.Sprintf("proc %d (%s): %d pages, %d resident", p.id, p.name, len(p.pages), p.ResidentPages())
+}

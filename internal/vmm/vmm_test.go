@@ -1,0 +1,393 @@
+package vmm
+
+import (
+	"testing"
+	"time"
+
+	"bookmarkgc/internal/mem"
+)
+
+func testVMM(t *testing.T, physPages int) (*Clock, *VMM) {
+	t.Helper()
+	c := NewClock()
+	v := New(c, uint64(physPages)*mem.PageSize, DefaultCosts())
+	return c, v
+}
+
+func TestClockAdvanceAndEvents(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	c.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	c.Schedule(5*time.Millisecond, func() { fired = append(fired, 2) })
+	c.Advance(4 * time.Millisecond)
+	if len(fired) != 0 {
+		t.Fatalf("fired too early: %v", fired)
+	}
+	c.Advance(2 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	c.Advance(10 * time.Millisecond)
+	if len(fired) != 2 || fired[1] != 1 {
+		t.Fatalf("fired = %v, want [2 1]", fired)
+	}
+	if c.Now() != 16*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestClockNestedAdvanceDefersEvents(t *testing.T) {
+	c := NewClock()
+	depth := 0
+	c.Schedule(time.Millisecond, func() {
+		depth++
+		if depth > 1 {
+			t.Fatal("event handler re-entered")
+		}
+		// Nested advance past another event must not dispatch recursively.
+		c.Schedule(2*time.Millisecond, func() { depth++ })
+		c.Advance(5 * time.Millisecond)
+		depth--
+	})
+	c.Advance(time.Millisecond)
+	if depth != 1 {
+		t.Fatalf("second event did not run at top level: depth=%d", depth)
+	}
+}
+
+func TestMinorFaultOnFirstTouch(t *testing.T) {
+	_, v := testVMM(t, 1024)
+	p := v.NewProc("a", 64*mem.PageSize)
+	if p.State(5) != Fresh {
+		t.Fatal("page not fresh")
+	}
+	p.Space().WriteWord(5*mem.PageSize, 1)
+	if p.State(5) != Resident {
+		t.Fatal("page not resident after touch")
+	}
+	if p.Stats().MinorFaults != 1 || p.Stats().MajorFaults != 0 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+	// Second touch: no new fault.
+	p.Space().ReadWord(5 * mem.PageSize)
+	if p.Stats().MinorFaults != 1 {
+		t.Fatal("re-touch faulted")
+	}
+}
+
+// fill touches n distinct pages of p starting at page start.
+func fill(p *Proc, start, n int) {
+	for i := 0; i < n; i++ {
+		p.Space().WriteWord(mem.PageAddr(mem.PageID(start+i)), uint64(i+1))
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	fill(p, 1, 200) // more pages than physical frames
+	if got := v.Stats().Evictions; got == 0 {
+		t.Fatal("no evictions despite overcommit")
+	}
+	if v.FreeFrames() < 0 {
+		t.Fatalf("free frames negative: %d", v.FreeFrames())
+	}
+	// Evicted page contents survive a round trip.
+	evicted := mem.PageID(0)
+	for i := mem.PageID(1); i <= 200; i++ {
+		if p.State(i) == Evicted {
+			evicted = i
+			break
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no page in evicted state")
+	}
+	before := p.Stats().MajorFaults
+	got := p.Space().ReadWord(mem.PageAddr(evicted))
+	if got != uint64(evicted) {
+		t.Fatalf("swap round trip lost data: got %d want %d", got, evicted)
+	}
+	if p.Stats().MajorFaults != before+1 {
+		t.Fatal("reload did not count as major fault")
+	}
+}
+
+func TestLRUPrefersColdPages(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	// A small hot set, touched repeatedly while cold pages stream through.
+	hot := []mem.PageID{1, 2, 3, 4}
+	for i := 0; i < 300; i++ {
+		for _, h := range hot {
+			p.Space().ReadWord(mem.PageAddr(h))
+		}
+		p.Space().WriteWord(mem.PageAddr(mem.PageID(10+i)), 1)
+	}
+	for _, h := range hot {
+		if p.State(h) != Resident {
+			t.Errorf("hot page %d evicted; LRU approximation broken", h)
+		}
+	}
+}
+
+type recHandler struct {
+	proc      *Proc
+	scheduled []mem.PageID
+	reloaded  []mem.PageID
+	protFault []mem.PageID
+	veto      map[mem.PageID]bool
+}
+
+func (h *recHandler) EvictionScheduled(p mem.PageID) {
+	h.scheduled = append(h.scheduled, p)
+	if h.veto[p] {
+		h.proc.Space().ReadWord(mem.PageAddr(p)) // touch to veto
+	}
+}
+
+func (h *recHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
+	if wasEvicted {
+		h.reloaded = append(h.reloaded, p)
+	} else {
+		h.protFault = append(h.protFault, p)
+	}
+}
+
+func TestEvictionNotification(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	h := &recHandler{proc: p}
+	p.Register(h)
+	fill(p, 1, 200)
+	if len(h.scheduled) == 0 {
+		t.Fatal("no eviction notifications delivered")
+	}
+	// Every evicted page must have been announced first.
+	announced := map[mem.PageID]bool{}
+	for _, pg := range h.scheduled {
+		announced[pg] = true
+	}
+	for i := mem.PageID(1); i <= 200; i++ {
+		if p.State(i) == Evicted && !announced[i] {
+			t.Fatalf("page %d evicted without notification", i)
+		}
+	}
+}
+
+func TestVetoByTouching(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	h := &recHandler{proc: p, veto: map[mem.PageID]bool{}}
+	// Veto eviction of pages 1-8 (as BC does for nursery pages and
+	// superpage headers).
+	for i := mem.PageID(1); i <= 8; i++ {
+		h.veto[i] = true
+	}
+	p.Register(h)
+	fill(p, 1, 400)
+	for i := mem.PageID(1); i <= 8; i++ {
+		if p.State(i) != Resident {
+			t.Errorf("vetoed page %d was evicted anyway", i)
+		}
+	}
+	if v.Stats().Evictions == 0 {
+		t.Fatal("pressure produced no evictions at all")
+	}
+}
+
+func TestReloadNotification(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	h := &recHandler{proc: p}
+	p.Register(h)
+	fill(p, 1, 300)
+	var target mem.PageID
+	for i := mem.PageID(1); i <= 300; i++ {
+		if p.State(i) == Evicted {
+			target = i
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("nothing evicted")
+	}
+	p.Space().ReadWord(mem.PageAddr(target))
+	found := false
+	for _, pg := range h.reloaded {
+		if pg == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reload of %d not notified (got %v)", target, h.reloaded)
+	}
+}
+
+func TestDiscardFreesFrameAndZeroes(t *testing.T) {
+	_, v := testVMM(t, 1024)
+	p := v.NewProc("a", 64*mem.PageSize)
+	a := mem.PageAddr(3)
+	p.Space().WriteWord(a, 42)
+	used := v.UsedFrames()
+	p.Discard(3)
+	if v.UsedFrames() != used-1 {
+		t.Fatal("discard did not free the frame")
+	}
+	if p.State(3) != Fresh {
+		t.Fatal("discarded page not fresh")
+	}
+	minor := p.Stats().MinorFaults
+	if got := p.Space().ReadWord(a); got != 0 {
+		t.Fatalf("discarded page not zero-filled: %d", got)
+	}
+	if p.Stats().MinorFaults != minor+1 {
+		t.Fatal("re-touch of discarded page was not a minor fault")
+	}
+	if p.Stats().MajorFaults != 0 {
+		t.Fatal("discard path should never major-fault")
+	}
+}
+
+func TestRelinquishEvictsQuickly(t *testing.T) {
+	_, v := testVMM(t, 256)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	h := &recHandler{proc: p}
+	p.Register(h)
+	fill(p, 1, 100)
+	// Relinquish pages 1-10, then create pressure.
+	var give []mem.PageID
+	for i := mem.PageID(1); i <= 10; i++ {
+		give = append(give, i)
+	}
+	p.Relinquish(give)
+	fill(p, 200, 200)
+	evicted := 0
+	for _, pg := range give {
+		if p.State(pg) == Evicted {
+			evicted++
+		}
+	}
+	if evicted < 8 {
+		t.Fatalf("only %d/10 relinquished pages evicted", evicted)
+	}
+	// Relinquished pages are evicted without a fresh notification.
+	for _, s := range h.scheduled {
+		for _, g := range give {
+			if s == g {
+				t.Fatalf("relinquished page %d was re-notified", g)
+			}
+		}
+	}
+}
+
+func TestProtectFault(t *testing.T) {
+	_, v := testVMM(t, 1024)
+	p := v.NewProc("a", 64*mem.PageSize)
+	h := &recHandler{proc: p}
+	p.Register(h)
+	a := mem.PageAddr(7)
+	p.Space().WriteWord(a, 1)
+	p.Protect(7)
+	if !p.Protected(7) {
+		t.Fatal("not protected")
+	}
+	p.Space().ReadWord(a)
+	if len(h.protFault) != 1 || h.protFault[0] != 7 {
+		t.Fatalf("protection fault not delivered: %v", h.protFault)
+	}
+	if p.Protected(7) {
+		t.Fatal("protection not cleared by fault")
+	}
+	// Second access: no more faults.
+	p.Space().ReadWord(a)
+	if len(h.protFault) != 1 {
+		t.Fatal("spurious second protection fault")
+	}
+}
+
+func TestLockPreventsEviction(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	p.Lock(1)
+	p.Lock(2)
+	fill(p, 10, 400)
+	if p.State(1) != Resident || p.State(2) != Resident {
+		t.Fatal("locked pages were evicted")
+	}
+}
+
+func TestPinReducesCapacity(t *testing.T) {
+	_, v := testVMM(t, 256)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	fill(p, 1, 150)
+	if v.Stats().Evictions != 0 {
+		t.Fatal("unexpected early evictions")
+	}
+	v.Pin(150) // now 150 resident + 150 pinned > 256 frames
+	if v.Stats().Evictions == 0 {
+		t.Fatal("pinning did not force evictions")
+	}
+	if v.FreeFrames() < 0 {
+		t.Fatalf("free frames negative after pin: %d", v.FreeFrames())
+	}
+}
+
+func TestMajorFaultCostDominates(t *testing.T) {
+	c, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	fill(p, 1, 200)
+	var target mem.PageID
+	for i := mem.PageID(1); i <= 200; i++ {
+		if p.State(i) == Evicted {
+			target = i
+			break
+		}
+	}
+	before := c.Now()
+	p.Space().ReadWord(mem.PageAddr(target))
+	faultTime := c.Now() - before
+	if faultTime < v.Costs().MajorFault {
+		t.Fatalf("major fault cost %v < configured %v", faultTime, v.Costs().MajorFault)
+	}
+	before = c.Now()
+	p.Space().ReadWord(mem.PageAddr(target))
+	hit := c.Now() - before
+	if hit > time.Microsecond {
+		t.Fatalf("resident access too expensive: %v", hit)
+	}
+}
+
+func TestTwoProcsCompeteForFrames(t *testing.T) {
+	_, v := testVMM(t, 256)
+	a := v.NewProc("a", 4096*mem.PageSize)
+	b := v.NewProc("b", 4096*mem.PageSize)
+	fill(a, 1, 150)
+	fill(b, 1, 150)
+	// Together they exceed physical memory; both must survive, and the
+	// VMM must have evicted someone.
+	if v.Stats().Evictions == 0 {
+		t.Fatal("no evictions with two competing procs")
+	}
+	if got := a.Space().ReadWord(mem.PageAddr(10)); got != 10 {
+		t.Fatalf("proc a data corrupted: %d", got)
+	}
+	if got := b.Space().ReadWord(mem.PageAddr(10)); got != 10 {
+		t.Fatalf("proc b data corrupted: %d", got)
+	}
+}
+
+func TestResidencyConservation(t *testing.T) {
+	// Property: used frames always equals the sum of resident pages.
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 4096*mem.PageSize)
+	q := v.NewProc("b", 4096*mem.PageSize)
+	fill(p, 1, 90)
+	fill(q, 1, 90)
+	p.Discard(5)
+	q.Discard(7)
+	fill(p, 200, 30)
+	if got := p.ResidentPages() + q.ResidentPages(); got != v.UsedFrames() {
+		t.Fatalf("resident sum %d != used frames %d", got, v.UsedFrames())
+	}
+}
