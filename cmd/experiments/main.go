@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-scale f] [-seed n] [-list]
+//	experiments [-run id[,id...]] [-scale f] [-seed n] [-list] [-counters]
 //
 // Experiment ids: table1, fig2, fig3, fig3x, fig4, fig5, fig6, fig7,
 // ablate; "all" runs everything. Scale 1.0 is paper scale (1 GB machine);
@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.Float64("scale", 0.25, "workload/memory scale (1.0 = paper scale)")
-		seed  = flag.Int64("seed", 1, "workload random seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 0.25, "workload/memory scale (1.0 = paper scale)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		counters = flag.Bool("counters", false, "collect event counters and add them to report notes")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Counters: *counters}
 	var selected []bench.Experiment
 	if *run == "all" {
 		selected = bench.Experiments()

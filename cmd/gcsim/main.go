@@ -6,13 +6,17 @@
 //
 //	gcsim [-collector BC] [-program pseudojbb] [-heap 77] [-phys 256]
 //	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
+//	      [-trace out.json] [-trace-format chrome|jsonl] [-counters]
 //
 // -steal f   pins f*heap immediately (steady pressure, Figure 3)
 // -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
 // -jvms n    runs n instances round-robin on one machine (Figure 7)
+// -trace f   writes GC phase spans and VM-cooperation events to f
+// -counters  prints the event-counter registry after the run
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/trace"
 )
 
 func main() {
@@ -47,13 +52,44 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		jvms      = flag.Int("jvms", 1, "number of simultaneous JVM instances")
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
+		traceOut  = flag.String("trace", "", "write a GC event trace to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
+		counters  = flag.Bool("counters", false, "print the event-counter registry after the run")
 	)
 	flag.Parse()
 
+	// Reject contradictory or out-of-range configurations up front, before
+	// any simulation state exists; exit 2 like other flag errors.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gcsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *stealFrac > 0 && *availMB > 0 {
+		fail("-steal and -avail are mutually exclusive pressure schedules; pick one")
+	}
+	if *stealFrac < 0 || *stealFrac >= 1 {
+		fail("-steal %v out of range [0, 1)", *stealFrac)
+	}
+	if *availMB < 0 {
+		fail("-avail %v must be non-negative", *availMB)
+	}
+	if *jvms < 1 {
+		fail("-jvms %d must be at least 1", *jvms)
+	}
+	if *scale <= 0 {
+		fail("-scale %v must be positive", *scale)
+	}
+	if *heapMB <= 0 || *physMB <= 0 {
+		fail("-heap and -phys must be positive (got %v, %v)", *heapMB, *physMB)
+	}
+	if *traceFmt != "chrome" && *traceFmt != "jsonl" {
+		fail("-trace-format %q must be chrome or jsonl", *traceFmt)
+	}
+
 	prog, ok := mutator.ByName(*program)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "gcsim: unknown program %q\n", *program)
-		os.Exit(2)
+		fail("unknown program %q", *program)
 	}
 	prog = prog.Scale(*scale)
 	heap := mem.RoundUpPage(uint64(*heapMB * *scale * (1 << 20)))
@@ -64,7 +100,30 @@ func main() {
 	case *stealFrac > 0:
 		pressure = sim.SteadyPressure(heap, *stealFrac)
 	case *availMB > 0:
-		pressure = sim.DynamicPressure(mem.RoundUpPage(uint64(*availMB * *scale * (1 << 20))))
+		// Calibrate the signalmem ramp to this workload: an unpressured
+		// run sets the baseline the ramp completes a third of the way
+		// into, as in the paper's measured iterations.
+		base := sim.Run(sim.RunConfig{
+			Collector: sim.CollectorKind(*collector),
+			Program:   prog, HeapBytes: heap, PhysBytes: phys,
+			Seed: *seed,
+		})
+		avail := mem.RoundUpPage(uint64(*availMB * *scale * (1 << 20)))
+		initial := mem.RoundUpPage(uint64(30 * *scale * (1 << 20)))
+		grow := mem.RoundUpPage(uint64(*scale * (1 << 20)))
+		pressure = sim.CalibratedDynamicPressure(phys, avail, initial, grow,
+			time.Duration(base.ElapsedSecs*float64(time.Second)))
+	}
+
+	// The recorder's clock is bound by sim.Run/RunMulti once the simulated
+	// machine exists.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(nil, *collector)
+	}
+	var reg *trace.Counters
+	if *counters || *traceOut != "" {
+		reg = trace.NewCounters()
 	}
 
 	if *jvms > 1 {
@@ -72,10 +131,12 @@ func main() {
 			Collector: sim.CollectorKind(*collector),
 			Program:   prog, HeapBytes: heap, PhysBytes: phys,
 			JVMs: *jvms, Seed: *seed,
+			Trace: rec, Counters: reg,
 		})
 		for i, r := range results {
 			fmt.Printf("jvm%d: %s\n", i, summary(r))
 		}
+		finish(rec, reg, *traceOut, *traceFmt, *counters)
 		return
 	}
 
@@ -83,6 +144,7 @@ func main() {
 		Collector: sim.CollectorKind(*collector),
 		Program:   prog, HeapBytes: heap, PhysBytes: phys,
 		Pressure: pressure, Seed: *seed,
+		Trace: rec, Counters: reg,
 	})
 	fmt.Println(summary(r))
 	if *bmu {
@@ -91,6 +153,44 @@ func main() {
 		for _, pt := range r.Timeline.BMUCurve(total/1000, total, 12) {
 			fmt.Printf("  %8.4fs  %.3f\n", pt[0], pt[1])
 		}
+	}
+	finish(rec, reg, *traceOut, *traceFmt, *counters)
+}
+
+// finish exports the trace file and prints the counter registry.
+func finish(rec *trace.Recorder, reg *trace.Counters, path, format string, show bool) {
+	if rec != nil && path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsim: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		var werr error
+		switch format {
+		case "chrome":
+			werr = rec.WriteChrome(w, "gcsim")
+		case "jsonl":
+			werr = rec.WriteJSONL(w)
+			if werr == nil {
+				werr = reg.WriteJSONL(w)
+			}
+		}
+		if werr == nil {
+			werr = w.Flush()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "gcsim: writing trace: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s (%s)\n", rec.Len(), path, format)
+	}
+	if show && reg != nil {
+		fmt.Println("counters:")
+		reg.WriteText(os.Stdout)
 	}
 }
 

@@ -48,6 +48,9 @@ func Ablations(o Options) []Report {
 			fmt.Sprintf("%d", res.GCStats.PagesEvicted),
 			fmt.Sprintf("%d", res.ProcStats.ProtFaults+res.ProcStats.MajorFaults),
 		})
+		if o.Counters {
+			r.Notes = append(r.Notes, counterNote(string(k), res))
+		}
 	}
 	return []Report{r}
 }

@@ -20,6 +20,7 @@ import (
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/trace"
 )
 
 // Options configures an experiment run.
@@ -29,6 +30,9 @@ type Options struct {
 	Scale float64
 	// Seed drives the deterministic workloads.
 	Seed int64
+	// Counters attaches an event-counter registry to every run;
+	// experiments that report cooperation behaviour add counter notes.
+	Counters bool
 }
 
 // DefaultOptions returns a quarter-scale configuration: big enough for
@@ -118,8 +122,12 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // runOK executes a configuration, converting an out-of-memory panic into
-// ok=false (used by the min-heap search).
-func runOK(cfg sim.RunConfig) (res sim.Result, ok bool) {
+// ok=false (used by the min-heap search). When o.Counters is set, each
+// run gets its own registry, readable from Result.Counters.
+func runOK(o Options, cfg sim.RunConfig) (res sim.Result, ok bool) {
+	if o.Counters {
+		cfg.Counters = trace.NewCounters()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, oom := r.(gc.ErrOutOfMemory); oom {
@@ -130,6 +138,22 @@ func runOK(cfg sim.RunConfig) (res sim.Result, ok bool) {
 		}
 	}()
 	return sim.Run(cfg), true
+}
+
+// counterNote renders one run's cooperation counters as a report note.
+func counterNote(label string, res sim.Result) string {
+	c := res.Counters
+	if c == nil {
+		return ""
+	}
+	return fmt.Sprintf(
+		"%s: bookmarked=%d evicted=%d discarded=%d reloaded=%d incoming(+%d/-%d) remset(filtered=%d carded=%d) forwarded=%dB",
+		label,
+		c.Get(trace.CObjectsBookmarked), c.Get(trace.CPagesProcessed),
+		c.Get(trace.CPagesDiscarded), c.Get(trace.CPagesReloaded),
+		c.Get(trace.CIncomingBumps), c.Get(trace.CIncomingDecrements),
+		c.Get(trace.CRemsetEntriesFiltered), c.Get(trace.CRemsetEntriesCarded),
+		c.Get(trace.CForwardedBytes))
 }
 
 // secs formats a simulated duration.

@@ -47,7 +47,7 @@ func Fig2(o Options) []Report {
 		for _, f := range fig2Factors {
 			heap := mem.RoundUpPage(uint64(f * float64(scaled.MinHeap)))
 			phys := heap*4 + (64 << 20) // ample: no pressure
-			bc, ok := runOK(sim.RunConfig{
+			bc, ok := runOK(o, sim.RunConfig{
 				Collector: sim.BC, Program: scaled,
 				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
 			})
@@ -59,7 +59,7 @@ func Fig2(o Options) []Report {
 					table[k][f].rel = append(table[k][f].rel, 1)
 					continue
 				}
-				res, ok := runOK(sim.RunConfig{
+				res, ok := runOK(o, sim.RunConfig{
 					Collector: k, Program: scaled,
 					HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
 				})

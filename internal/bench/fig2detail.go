@@ -30,7 +30,7 @@ func Fig2Detail(o Options) []Report {
 		row := []string{prog.Name}
 		var bcTime float64
 		for _, k := range fig2Collectors {
-			res, ok := runOK(sim.RunConfig{
+			res, ok := runOK(o, sim.RunConfig{
 				Collector: k, Program: scaled,
 				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
 			})

@@ -53,7 +53,7 @@ func fig3At(o Options, id string, availFrac float64) []Report {
 			slack := o.bytes(6 << 20)
 			avail := uint64(availFrac*float64(heap)) + slack
 			phys := heap * 2
-			res, ok := runOK(sim.RunConfig{
+			res, ok := runOK(o, sim.RunConfig{
 				Collector: k,
 				Program:   prog,
 				HeapBytes: heap,
@@ -68,6 +68,10 @@ func fig3At(o Options, id string, availFrac float64) []Report {
 			}
 			execRow = append(execRow, secs(res.ElapsedSecs))
 			pauseRow = append(pauseRow, ms(res.Timeline.AvgPause()))
+			if o.Counters && heapMB == fig3Heaps[len(fig3Heaps)-1] {
+				exec.Notes = append(exec.Notes,
+					counterNote(fmt.Sprintf("%s@%dMB", k, heapMB), res))
+			}
 		}
 		exec.Rows = append(exec.Rows, execRow)
 		pause.Rows = append(pause.Rows, pauseRow)

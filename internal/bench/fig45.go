@@ -24,30 +24,14 @@ var fig45Avail = []float64{1.6, 1.4, 1.2, 1.0, 0.85, 0.70, 0.55}
 // unpressured run, as in the paper's measured iterations.
 func dynamicRun(o Options, k sim.CollectorKind, prog mutator.Spec, heap, avail uint64, baseline time.Duration) (sim.Result, bool) {
 	phys := heap * 2
-	initial := o.bytes(30 << 20)
-	if initial >= phys-avail {
-		initial = (phys - avail) / 2
-	}
-	steps := (phys - avail - initial) / o.bytes(1<<20)
-	if steps == 0 {
-		steps = 1
-	}
-	every := baseline / 3 / time.Duration(steps)
-	if every <= 0 {
-		every = time.Millisecond
-	}
-	return runOK(sim.RunConfig{
+	return runOK(o, sim.RunConfig{
 		Collector: k,
 		Program:   prog,
 		HeapBytes: heap,
 		PhysBytes: phys,
 		Seed:      o.Seed,
-		Pressure: &sim.Pressure{
-			InitialBytes:     initial,
-			GrowBytes:        o.bytes(1 << 20),
-			GrowEvery:        every,
-			TargetAvailBytes: avail,
-		},
+		Pressure: sim.CalibratedDynamicPressure(
+			phys, avail, o.bytes(30<<20), o.bytes(1<<20), baseline),
 	})
 }
 

@@ -55,7 +55,7 @@ func findMinHeap(o Options, prog mutator.Spec) uint64 {
 	factors := []float64{0.4, 0.5, 0.625, 0.75, 1.0, 1.5, 2.0}
 	for _, f := range factors {
 		heap := mem.RoundUpPage(uint64(f * float64(prog.MinHeap)))
-		if _, ok := runOK(sim.RunConfig{
+		if _, ok := runOK(o, sim.RunConfig{
 			Collector: sim.BC,
 			Program:   prog,
 			HeapBytes: heap,

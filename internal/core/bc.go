@@ -34,6 +34,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // VictimPolicy selects which page to process when the VMM schedules an
@@ -159,7 +160,9 @@ func New(env *gc.Env, cfg Config) *BC {
 	}
 	c.Mature = gc.NewMature(env)
 	c.SS.SetResidencyFilter(c.pageOK)
+	c.nursery.SetCounters(env.Counters)
 	c.remset = gc.NewRemSet(env.Layout.MatureBase, env.Layout.LOSEnd, gc.EntriesPerPage)
+	c.remset.SetCounters(env.Counters)
 	c.remset.SetFilter(func(slot mem.Addr) bool {
 		return c.nursery.Contains(c.E.Space.ReadAddr(slot))
 	})
@@ -381,6 +384,7 @@ func (c *BC) copyToMature(o objmodel.Ref, work *gc.WorkList) objmodel.Ref {
 	gc.CopyObject(c.E.Space, o, dst, size)
 	objmodel.Forward(c.E.Space, o, dst)
 	c.markRangeResident(dst, size)
+	c.E.Counters.Add(trace.CPromotedBytes, uint64(size))
 	work.Push(dst)
 	return dst
 }
@@ -395,6 +399,8 @@ func (c *BC) nurseryGC() {
 	defer done()
 	gc.PauseClock(c.E, gc.PauseOverhead)
 	c.Stats().Nursery++
+	c.E.Trace.Begin(trace.PhaseNurseryScan)
+	defer c.E.Trace.End(trace.PhaseNurseryScan)
 
 	var work gc.WorkList
 	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
@@ -516,6 +522,7 @@ func (c *BC) fullGC() {
 	var work gc.WorkList
 	c.curWork, c.curEpoch = &work, epoch
 	defer func() { c.curWork = nil }()
+	c.E.Trace.Begin(trace.PhaseMark)
 	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
 		c.bookmarkRoots(&work, epoch)
 	}
@@ -550,8 +557,11 @@ func (c *BC) fullGC() {
 			}
 		})
 	}
+	c.E.Trace.End(trace.PhaseMark)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, c.pageOK)
+	c.E.Trace.End(trace.PhaseSweep)
 	c.resetNursery()
 	c.maybeRevalidate()
 }

@@ -5,6 +5,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // compact is the two-pass compacting collection of §3.2, adjusted for
@@ -34,6 +35,7 @@ func (c *BC) compact() {
 	var work gc.WorkList
 	c.curWork, c.curEpoch = &work, epoch
 	defer func() { c.curWork = nil }()
+	c.E.Trace.Begin(trace.PhaseMark)
 	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
 		c.bookmarkRoots(&work, epoch)
 	}
@@ -62,13 +64,20 @@ func (c *BC) compact() {
 		})
 	}
 
+	c.E.Trace.End(trace.PhaseMark)
+
 	// Sweep garbage first so target capacity is visible. (Resident-only,
 	// bookmark-respecting via the space's filter and sweep rules.)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, c.pageOK)
+	c.E.Trace.End(trace.PhaseSweep)
 
 	// Pass 2: choose targets and copy.
+	c.E.Trace.Begin(trace.PhaseCompactSelect)
 	targets := c.chooseTargets()
+	c.E.Trace.End(trace.PhaseCompactSelect)
+	c.E.Trace.Begin(trace.PhaseCheneyForward)
 	epoch2 := c.NextEpoch()
 	work.Reset()
 	c.curEpoch = epoch2      // mid-pass bookmarks join the copy pass
@@ -118,6 +127,7 @@ func (c *BC) compact() {
 	for _, o := range moved {
 		c.SS.FreeBlock(o)
 	}
+	c.E.Trace.End(trace.PhaseCheneyForward)
 	c.resetNursery()
 	c.resizeNursery()
 	c.maybeRevalidate()
@@ -220,6 +230,8 @@ func (c *BC) compactCopy(o objmodel.Ref, targets *targetSet, work *gc.WorkList, 
 	objmodel.Forward(c.E.Space, o, dst)
 	objmodel.SetMark(c.E.Space, dst, epoch2)
 	c.markRangeResident(dst, size)
+	c.E.Counters.Inc(trace.CForwardedObjects)
+	c.E.Counters.Add(trace.CForwardedBytes, uint64(size))
 	work.Push(dst)
 	if moved != nil {
 		*moved = append(*moved, o)

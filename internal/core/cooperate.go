@@ -6,6 +6,7 @@ import (
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // bcHandler adapts BC to the vmm.Handler interface. It is a distinct type
@@ -27,6 +28,7 @@ type bcHandler BC
 func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 	c := (*BC)(h)
 	c.lastNotify = c.E.Clock.Now()
+	c.E.Trace.Point(trace.EvEvictionScheduled, int64(p), 0)
 	c.shrinkTarget()
 
 	if c.mustKeep(p) {
@@ -72,6 +74,12 @@ func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 func (h *bcHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
 	c := (*BC)(h)
 	c.E.Proc.Unprotect(p)
+	wasEv := int64(0)
+	if wasEvicted {
+		wasEv = 1
+	}
+	c.E.Trace.Point(trace.EvPageReloaded, int64(p), wasEv)
+	c.E.Counters.Inc(trace.CPagesReloaded)
 	if c.evicted.Test(int(p)) {
 		c.evicted.Clear(int(p))
 		c.evictedHeapPg--
@@ -89,6 +97,8 @@ func (h *bcHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
 func (c *BC) shrinkTarget() {
 	cur := c.resident.Count() + c.discardCredit
 	if cur < c.footprintTarget {
+		c.E.Trace.Point(trace.EvHeapShrink, int64(cur), int64(c.footprintTarget))
+		c.E.Counters.Inc(trace.CHeapShrinks)
 		c.footprintTarget = cur
 	}
 }
@@ -103,10 +113,13 @@ func (c *BC) maybeRegrow() {
 		return
 	}
 	if c.E.Proc.FreeFramesHint() > c.E.HeapPages/8 {
+		was := c.footprintTarget
 		c.footprintTarget += c.footprintTarget / 8
 		if c.footprintTarget > c.E.HeapPages {
 			c.footprintTarget = c.E.HeapPages
 		}
+		c.E.Trace.Point(trace.EvHeapRegrow, int64(c.footprintTarget), int64(was))
+		c.E.Counters.Inc(trace.CHeapRegrows)
 		c.resizeNursery()
 	}
 }
@@ -188,6 +201,8 @@ func (c *BC) pageDiscardable(p mem.PageID) bool {
 // discardPage returns one page to the VMM.
 func (c *BC) discardPage(p mem.PageID) {
 	c.E.Proc.Discard(p)
+	c.E.Trace.Point(trace.EvPageDiscarded, int64(p), 0)
+	c.E.Counters.Inc(trace.CPagesDiscarded)
 	c.resident.Clear(int(p))
 	c.processed.Clear(int(p))
 }
@@ -222,6 +237,7 @@ func (c *BC) giveDiscardables(exclude mem.PageID) int {
 	c.discardCursor = first + 1
 	if c.cfg.NoAggressiveDiscard {
 		c.discardPage(mem.PageID(first))
+		c.E.Counters.Observe(trace.HDiscardBatch, 1)
 		return 1
 	}
 	n := 0
@@ -233,6 +249,9 @@ func (c *BC) giveDiscardables(exclude mem.PageID) int {
 	}
 	if n > 1 {
 		c.discardCredit += n - 1
+	}
+	if n > 0 {
+		c.E.Counters.Observe(trace.HDiscardBatch, uint64(n))
 	}
 	return n
 }
@@ -305,6 +324,13 @@ func (c *BC) processAndEvict(p mem.PageID) {
 	rec := &pageRecord{}
 	seenSuper := map[int32]bool{}
 	seenLOS := map[objmodel.Ref]bool{}
+	booked := int64(0)
+	if c.curWork != nil {
+		// Bookmarking during a collection: the marks grafted in below are
+		// the preventive-bookmarking path (§3.4.1).
+		c.E.Trace.Point(trace.EvPreventiveBookmark, int64(p), 0)
+		c.E.Counters.Inc(trace.CPreventiveBookmarks)
+	}
 
 	bookmarkTarget := func(tgt objmodel.Ref) {
 		// The bookmark bit can be set only if the target's page is
@@ -319,6 +345,8 @@ func (c *BC) processAndEvict(p mem.PageID) {
 			if c.pageOK(tgt.Page()) {
 				objmodel.SetBookmark(c.E.Space, tgt)
 				c.Stats().Bookmarked++
+				booked++
+				c.E.Counters.Inc(trace.CObjectsBookmarked)
 				if c.curWork != nil {
 					// A collection is in progress: the new bookmark must
 					// join its mark, or children reachable only through
@@ -330,6 +358,7 @@ func (c *BC) processAndEvict(p mem.PageID) {
 			if !seenSuper[idx] {
 				seenSuper[idx] = true
 				c.SS.IncIncoming(int(idx))
+				c.E.Counters.Inc(trace.CIncomingBumps)
 				rec.supers = append(rec.supers, idx)
 			}
 		case c.LOS.Contains(tgt):
@@ -337,6 +366,8 @@ func (c *BC) processAndEvict(p mem.PageID) {
 				if c.pageOK(o.Page()) {
 					objmodel.SetBookmark(c.E.Space, o)
 					c.Stats().Bookmarked++
+					booked++
+					c.E.Counters.Inc(trace.CObjectsBookmarked)
 					if c.curWork != nil {
 						gc.MarkStep(c.E, c.curWork, o, c.curEpoch)
 					}
@@ -344,6 +375,7 @@ func (c *BC) processAndEvict(p mem.PageID) {
 				if !seenLOS[o] {
 					seenLOS[o] = true
 					c.losIncoming[o]++
+					c.E.Counters.Inc(trace.CIncomingBumps)
 					rec.los = append(rec.los, o)
 				}
 			}
@@ -354,6 +386,8 @@ func (c *BC) processAndEvict(p mem.PageID) {
 			return // header already evicted; edges were recorded then
 		}
 		objmodel.SetBookmark(c.E.Space, o) // conservative (§3.4)
+		booked++
+		c.E.Counters.Inc(trace.CObjectsBookmarked)
 		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
 			bookmarkTarget(tgt)
 		})
@@ -365,6 +399,9 @@ func (c *BC) processAndEvict(p mem.PageID) {
 	c.processed.Set(int(p))
 	c.noteEvicted(p)
 	c.Stats().PagesEvicted++
+	c.E.Trace.Point(trace.EvPageProcessed, int64(p), booked)
+	c.E.Counters.Inc(trace.CPagesProcessed)
+	c.E.Counters.Observe(trace.HPageBookmarks, uint64(booked))
 	c.E.Proc.Protect(p)
 	c.E.Proc.Relinquish([]mem.PageID{p})
 }
@@ -390,14 +427,19 @@ func (c *BC) forEachObjectOverlapping(p mem.PageID, fn func(o objmodel.Ref)) {
 // count drops to zero, and clear the conservative bookmarks on p itself
 // if its own superpage has no incoming bookmarks (§3.4.2).
 func (c *BC) unbookmarkPage(p mem.PageID) {
+	decs := int64(0)
 	if rec, ok := c.pageTargets[p]; ok {
 		delete(c.pageTargets, p)
 		for _, idx := range rec.supers {
+			decs++
+			c.E.Counters.Inc(trace.CIncomingDecrements)
 			if c.SS.Used(int(idx)) && c.SS.DecIncoming(int(idx)) == 0 {
 				c.clearSuperBookmarks(int(idx))
 			}
 		}
 		for _, o := range rec.los {
+			decs++
+			c.E.Counters.Inc(trace.CIncomingDecrements)
 			if n := c.losIncoming[o] - 1; n > 0 {
 				c.losIncoming[o] = n
 			} else {
@@ -408,6 +450,7 @@ func (c *BC) unbookmarkPage(p mem.PageID) {
 			}
 		}
 	}
+	c.E.Trace.Point(trace.EvBookmarkCleared, int64(p), decs)
 	// Conservative bookmarks on the reloaded page itself.
 	a := mem.PageAddr(p)
 	switch {

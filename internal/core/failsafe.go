@@ -5,6 +5,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // failSafe preserves completeness (§3.5): when the heap is exhausted and
@@ -21,6 +22,8 @@ func (c *BC) failSafe() {
 	c.Stats().FailSafe++
 	c.Stats().Full++
 	c.booksValid = false
+	c.E.Trace.Begin(trace.PhaseFailSafe)
+	defer c.E.Trace.End(trace.PhaseFailSafe)
 
 	// Discard every bookmark and incoming count. Clearing a bookmark on
 	// an evicted page touches it — that is the point of the fail-safe.
@@ -47,6 +50,7 @@ func (c *BC) failSafe() {
 	// residency filter is bypassed by lifting the evicted view: reloads
 	// driven by the trace update the bitmaps through the handler.
 	epoch := c.NextEpoch()
+	c.E.Trace.Begin(trace.PhaseMark)
 	var work gc.WorkList
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		if c.nursery.Contains(o) {
@@ -71,11 +75,14 @@ func (c *BC) failSafe() {
 			}
 		})
 	}
+	c.E.Trace.End(trace.PhaseMark)
 	// Sweep everything, residency regardless.
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.SetResidencyFilter(nil)
 	c.SS.Sweep(epoch)
 	c.SS.SetResidencyFilter(c.pageOK)
 	c.LOS.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 	c.resetNursery()
 	c.resizeNursery()
 	c.maybeRevalidate()

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
+)
+
+// TestEveryPhaseEmitsSpans drives BC through all of its collection
+// kinds — nursery, full, compaction, fail-safe — with a recorder
+// attached and checks that every phase produces a matched span.
+func TestEveryPhaseEmitsSpans(t *testing.T) {
+	clock := vmm.NewClock()
+	v := vmm.New(clock, 512<<20, vmm.DefaultCosts())
+	env := gc.NewEnv(v, "bc-span-test", 16<<20)
+	rec := trace.NewRecorder(clock, "BC")
+	env.Trace = rec
+	env.Counters = trace.NewCounters()
+	node := env.Types.Scalar("node", 4, 0, 1)
+	c := New(env, Config{})
+
+	slot := c.Roots().Add(c.Alloc(node, 0))
+	c.Collect(false) // nursery
+	c.Collect(true)  // full
+	c.compact()      // compaction phases
+	c.failSafe()     // fail-safe full collection
+	if c.Roots().Get(slot) == 0 {
+		t.Fatal("root lost")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf, "core-test"); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	begins := map[string]int{}
+	ends := map[string]int{}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins[e.Name]++
+		case "E":
+			ends[e.Name]++
+		}
+	}
+	for _, phase := range []string{
+		"pause:nursery", "pause:full", "pause:compact",
+		"nursery-scan", "mark", "sweep",
+		"compact-select", "cheney-forward", "failsafe",
+	} {
+		if begins[phase] == 0 {
+			t.Errorf("no %q span recorded", phase)
+		}
+		if begins[phase] != ends[phase] {
+			t.Errorf("%q spans unbalanced: %d begins, %d ends", phase, begins[phase], ends[phase])
+		}
+	}
+}

@@ -90,12 +90,16 @@ type Mature struct {
 	LOS *heap.LOS
 }
 
-// NewMature builds the mature spaces over env's layout.
+// NewMature builds the mature spaces over env's layout, wiring the
+// environment's counter registry into them.
 func NewMature(env *Env) Mature {
-	return Mature{
+	m := Mature{
 		SS:  heap.NewSuperSpace(env.Space, env.Classes, env.Layout.MatureBase, env.Layout.MatureEnd),
 		LOS: heap.NewLOS(env.Space, env.Layout.LOSBase, env.Layout.LOSEnd),
 	}
+	m.SS.SetCounters(env.Counters)
+	m.LOS.SetCounters(env.Counters)
+	return m
 }
 
 // MatureUsedPages is the page footprint of the mature spaces.

@@ -13,6 +13,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
 )
 
@@ -30,6 +31,13 @@ type Env struct {
 	// paper's experiments. Collectors trigger collection to stay within
 	// it; BC additionally shrinks it under memory pressure (§3.3.3).
 	HeapPages int
+
+	// Trace receives span and point events from the collector; defaults
+	// to the no-op tracer. Counters, when non-nil, accumulates the
+	// counter registry (its methods are nil-safe, so instrumentation
+	// sites call through unconditionally).
+	Trace    trace.Tracer
+	Counters *trace.Counters
 }
 
 // NewEnv wires a process-wide environment for a heap of heapBytes.
@@ -44,6 +52,7 @@ func NewEnv(v *vmm.VMM, name string, heapBytes uint64) *Env {
 		Classes:   objmodel.BuildClasses(),
 		Layout:    layout,
 		HeapPages: int(mem.RoundUpPage(heapBytes) / mem.PageSize),
+		Trace:     trace.Nop{},
 	}
 }
 
@@ -107,13 +116,28 @@ type Stats struct {
 	FailSafe     uint64 // completeness fail-safe collections (BC)
 }
 
+// pausePhase maps a pause kind to its trace span kind.
+func pausePhase(kind metrics.PauseKind) trace.Phase {
+	switch kind {
+	case metrics.PauseNursery:
+		return trace.PhasePauseNursery
+	case metrics.PauseCompact:
+		return trace.PhasePauseCompact
+	default:
+		return trace.PhasePauseFull
+	}
+}
+
 // BeginPause starts a stop-the-world interval; call the returned func at
 // the end of the collection. Major faults taken during the pause are
-// attributed to it.
+// attributed to it, and the interval is emitted as a trace span enclosing
+// whatever phase spans the collector opens inside it.
 func (st *Stats) BeginPause(env *Env, kind metrics.PauseKind) func() {
 	start := env.Clock.Now()
 	faults := env.Proc.Stats().MajorFaults
+	env.Trace.Begin(pausePhase(kind))
 	return func() {
+		env.Trace.End(pausePhase(kind))
 		st.Timeline.Record(metrics.Pause{
 			Start:       start,
 			Dur:         env.Clock.Now() - start,

@@ -2,6 +2,7 @@ package gc
 
 import (
 	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/trace"
 )
 
 // CardBytes is the granularity of the card table used when write buffers
@@ -29,6 +30,7 @@ type RemSet struct {
 
 	flushes   uint64
 	maxBuffer int
+	counters  *trace.Counters
 }
 
 // NewRemSet covers slot addresses in [cardBase, cardEnd) with a card
@@ -51,6 +53,10 @@ const EntriesPerPage = mem.PageSize / mem.WordSize
 // holds an interesting (nursery-bound) pointer at flush time.
 func (r *RemSet) SetFilter(f func(slot mem.Addr) bool) { r.filter = f }
 
+// SetCounters attaches a counter registry recording flush activity (the
+// §3.1 overflow→card filterings). nil detaches.
+func (r *RemSet) SetCounters(c *trace.Counters) { r.counters = c }
+
 // Record buffers a slot address. When the page-sized buffer fills, it is
 // processed and compacted (§3.1).
 func (r *RemSet) Record(slot mem.Addr) {
@@ -67,10 +73,13 @@ func (r *RemSet) Record(slot mem.Addr) {
 // emptying the buffer.
 func (r *RemSet) Flush() {
 	r.flushes++
+	r.counters.Inc(trace.CRemsetFlushes)
 	for _, slot := range r.entries {
 		if r.filter != nil && !r.filter(slot) {
+			r.counters.Inc(trace.CRemsetEntriesFiltered)
 			continue
 		}
+		r.counters.Inc(trace.CRemsetEntriesCarded)
 		r.markCard(slot)
 	}
 	r.entries = r.entries[:0]

@@ -3,6 +3,7 @@ package heap
 import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // BumpSpace is a contiguous bump-pointer allocation region: the nursery
@@ -18,12 +19,18 @@ type BumpSpace struct {
 	cur   mem.Addr
 
 	objects int // live allocation count since last Reset (diagnostic)
+
+	counters *trace.Counters // optional registry (nil-safe)
 }
 
 // NewBumpSpace creates a bump space over [base, end).
 func NewBumpSpace(s *mem.Space, base, end mem.Addr) *BumpSpace {
 	return &BumpSpace{s: s, base: base, end: end, limit: end, cur: base}
 }
+
+// SetCounters attaches a counter registry recording allocation counts.
+// nil detaches.
+func (b *BumpSpace) SetCounters(c *trace.Counters) { b.counters = c }
 
 // SetBudget bounds the space to n bytes (rounded up to a page); the
 // region's virtual capacity is the upper bound.
@@ -50,6 +57,7 @@ func (b *BumpSpace) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 	o := b.cur
 	b.cur += total
 	b.objects++
+	b.counters.Inc(trace.CBumpAllocs)
 	objmodel.ClearStatus(b.s, o)
 	objmodel.SetTypeWord(b.s, o, t.ID, arrayLen)
 	b.s.ZeroRange(objmodel.Payload(o), uint64(total)-objmodel.HeaderBytes)
@@ -67,6 +75,7 @@ func (b *BumpSpace) AllocRaw(totalBytes int) mem.Addr {
 	o := b.cur
 	b.cur += total
 	b.objects++
+	b.counters.Inc(trace.CBumpAllocs)
 	return o
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // LOS is the page-based large object space (§3): objects bigger than the
@@ -21,6 +22,8 @@ type LOS struct {
 	sorted  []mem.Addr       // allocation order cache for iteration, kept sorted
 	dirty   bool             // sorted needs rebuild
 	inUse   int              // pages allocated
+
+	counters *trace.Counters // optional registry (nil-safe)
 }
 
 // NewLOS creates a large object space over [base, end).
@@ -39,6 +42,10 @@ func NewLOS(s *mem.Space, base, end mem.Addr) *LOS {
 	l.free.SetAll()
 	return l
 }
+
+// SetCounters attaches a counter registry recording large-object
+// allocation volume. nil detaches.
+func (l *LOS) SetCounters(c *trace.Counters) { l.counters = c }
 
 // Contains reports whether a lies in the LOS region.
 func (l *LOS) Contains(a mem.Addr) bool {
@@ -66,6 +73,8 @@ func (l *LOS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 	o := l.base + mem.Addr(start)*mem.PageSize
 	l.objects[o] = pages
 	l.dirty = true
+	l.counters.Inc(trace.CLOSAllocs)
+	l.counters.Add(trace.CLOSPagesAllocated, uint64(pages))
 	objmodel.ClearStatus(l.s, o)
 	objmodel.SetTypeWord(l.s, o, t.ID, arrayLen)
 	l.s.ZeroRange(objmodel.Payload(o), uint64(t.PayloadWords(arrayLen))*mem.WordSize)

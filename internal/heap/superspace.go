@@ -5,6 +5,7 @@ import (
 
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // Superpage header layout (word offsets from the superpage base). The
@@ -46,6 +47,7 @@ type SuperSpace struct {
 	used     []bool
 	inUse    int
 	resident func(mem.PageID) bool // optional residency filter for alloc/sweep
+	counters *trace.Counters       // optional registry (nil-safe)
 }
 
 // NewSuperSpace creates a mature space over [base, end), which must be
@@ -70,6 +72,10 @@ func NewSuperSpace(s *mem.Space, classes *objmodel.Classes, base, end mem.Addr) 
 // pages satisfy ok. BC installs its residency bit array here so it never
 // allocates into or sweeps across evicted pages (§3.3.1, §3.4.1).
 func (ss *SuperSpace) SetResidencyFilter(ok func(mem.PageID) bool) { ss.resident = ok }
+
+// SetCounters attaches a counter registry recording superpage churn and
+// per-size-class acquisition counts. nil detaches.
+func (ss *SuperSpace) SetCounters(c *trace.Counters) { ss.counters = c }
 
 // Classes returns the size-class table in use.
 func (ss *SuperSpace) Classes() *objmodel.Classes { return ss.classes }
@@ -264,6 +270,8 @@ func (ss *SuperSpace) AcquireSuper(cl objmodel.SizeClass, kind objmodel.Kind) in
 	}
 	ss.used[idx] = true
 	ss.inUse++
+	ss.counters.Inc(trace.CSuperpagesAcquired)
+	ss.counters.AddVec(trace.VSuperAllocsByClass, cl.Index, 1)
 	ss.pushAvail(idx, cl, kind)
 	return idx
 }
@@ -306,6 +314,7 @@ func (ss *SuperSpace) releaseSuper(idx int) {
 	ss.setHdr(idx, hdrIncoming, 0)
 	ss.used[idx] = false
 	ss.inUse--
+	ss.counters.Inc(trace.CSuperpagesReleased)
 	ss.free = append(ss.free, int32(idx))
 	ss.inAvail[idx] = false
 }

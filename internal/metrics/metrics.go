@@ -215,16 +215,28 @@ func (t *Timeline) BMUCurve(lo, hi time.Duration, points int) [][2]float64 {
 	return out
 }
 
-// Percentile returns the p-th percentile pause (p in [0,100]).
+// Percentile returns the p-th percentile pause. p is clamped to
+// [0, 100]; between sorted samples the value is linearly interpolated
+// rather than truncated to the lower neighbour.
 func (t *Timeline) Percentile(p float64) time.Duration {
 	if len(t.Pauses) == 0 {
 		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	ds := make([]time.Duration, len(t.Pauses))
 	for i, pa := range t.Pauses {
 		ds[i] = pa.Dur
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	idx := int(p / 100 * float64(len(ds)-1))
-	return ds[idx]
+	pos := p / 100 * float64(len(ds)-1)
+	lo := int(pos)
+	if lo >= len(ds)-1 {
+		return ds[len(ds)-1]
+	}
+	frac := pos - float64(lo)
+	return ds[lo] + time.Duration(frac*float64(ds[lo+1]-ds[lo]))
 }

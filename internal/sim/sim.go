@@ -15,6 +15,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
 )
 
@@ -124,16 +125,52 @@ func DynamicPressure(availBytes uint64) *Pressure {
 	}
 }
 
+// CalibratedDynamicPressure is the §5.3.2 schedule with its ramp scaled
+// to the simulated substrate: the paper's wall-clock rate (1 MB/100 ms)
+// is glacial next to simulated CPU costs, so the pin interval is chosen
+// to complete the ramp within roughly the first third of an unpressured
+// run of length baseline — as in the paper's measured iterations.
+func CalibratedDynamicPressure(phys, avail, initial, grow uint64, baseline time.Duration) *Pressure {
+	if phys <= avail {
+		return &Pressure{TargetAvailBytes: avail}
+	}
+	if initial >= phys-avail {
+		initial = (phys - avail) / 2
+	}
+	if grow == 0 {
+		grow = 1 << 20
+	}
+	steps := (phys - avail - initial) / grow
+	if steps == 0 {
+		steps = 1
+	}
+	every := baseline / 3 / time.Duration(steps)
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	return &Pressure{
+		InitialBytes:     initial,
+		GrowBytes:        grow,
+		GrowEvery:        every,
+		TargetAvailBytes: avail,
+	}
+}
+
 // SignalMem pins memory on a schedule, like the paper's signalmem tool
 // (mmap + touch + mlock at a configured rate).
 type SignalMem struct {
-	v *vmm.VMM
-	p Pressure
+	v  *vmm.VMM
+	p  Pressure
+	tr trace.Tracer
 }
 
-// StartSignalMem arms the schedule on the machine's clock.
-func StartSignalMem(v *vmm.VMM, p Pressure) *SignalMem {
-	s := &SignalMem{v: v, p: p}
+// StartSignalMem arms the schedule on the machine's clock. tr records
+// each pinning step (nil for none).
+func StartSignalMem(v *vmm.VMM, p Pressure, tr trace.Tracer) *SignalMem {
+	if tr == nil {
+		tr = trace.Nop{}
+	}
+	s := &SignalMem{v: v, p: p, tr: tr}
 	v.Clock.Schedule(p.StartAt, s.initial)
 	return s
 }
@@ -147,7 +184,9 @@ func (s *SignalMem) initial() {
 	if total > floor && pin > total-floor {
 		pin = total - floor
 	}
-	s.v.Pin(int(pin / mem.PageSize))
+	frames := int(pin / mem.PageSize)
+	s.v.Pin(frames)
+	s.tr.Point(trace.EvMemoryPinned, int64(frames), int64(s.v.PinnedFrames()))
 	if s.p.GrowBytes > 0 {
 		s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
 	}
@@ -163,7 +202,9 @@ func (s *SignalMem) grow() {
 	if step > want {
 		step = want
 	}
-	s.v.Pin(int(step / mem.PageSize))
+	frames := int(step / mem.PageSize)
+	s.v.Pin(frames)
+	s.tr.Point(trace.EvMemoryPinned, int64(frames), int64(s.v.PinnedFrames()))
 	s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
 }
 
@@ -176,6 +217,14 @@ type RunConfig struct {
 	Pressure  *Pressure // nil = none
 	Seed      int64
 	Costs     *vmm.Costs // nil = DefaultCosts
+
+	// Trace, when non-nil, records GC phase spans and VM-cooperation
+	// events on the run's simulated clock. Counters, when non-nil,
+	// accumulates event counts and histograms. Both observe only; they
+	// never advance the clock, so traced runs are bit-identical to
+	// untraced ones.
+	Trace    *trace.Recorder
+	Counters *trace.Counters
 }
 
 // Result is the measured outcome of one run.
@@ -186,6 +235,7 @@ type Result struct {
 	GCStats     gc.Stats
 	ProcStats   vmm.ProcStats
 	ElapsedSecs float64
+	Counters    *trace.Counters // the registry passed in, if any
 }
 
 // Run executes one configuration to completion.
@@ -197,10 +247,17 @@ func Run(cfg RunConfig) Result {
 	}
 	v := vmm.New(clock, cfg.PhysBytes, costs)
 	env := gc.NewEnv(v, string(cfg.Collector), cfg.HeapBytes)
+	tr := trace.Tracer(trace.Nop{})
+	if cfg.Trace != nil {
+		cfg.Trace.SetClock(clock)
+		tr = cfg.Trace
+	}
+	env.Trace = tr
+	env.Counters = cfg.Counters
 	types := mutator.DeclareTypes(env)
 	col := NewCollector(cfg.Collector, env)
 	if cfg.Pressure != nil {
-		StartSignalMem(v, *cfg.Pressure)
+		StartSignalMem(v, *cfg.Pressure, tr)
 	}
 	run := mutator.NewRun(cfg.Program, col, types, cfg.Seed)
 
@@ -216,6 +273,7 @@ func Run(cfg RunConfig) Result {
 		GCStats:     *col.Stats(),
 		ProcStats:   env.Proc.Stats(),
 		ElapsedSecs: (clock.Now() - start).Seconds(),
+		Counters:    cfg.Counters,
 	}
 }
 
@@ -229,6 +287,11 @@ type MultiConfig struct {
 	Quantum   int // allocations per scheduling quantum
 	Seed      int64
 	Costs     *vmm.Costs
+
+	// Trace gives each JVM its own named thread in one shared trace;
+	// Counters is one registry shared by every JVM. Both are optional.
+	Trace    *trace.Recorder
+	Counters *trace.Counters
 }
 
 // RunMulti round-robins the JVMs on one simulated CPU until all complete,
@@ -250,9 +313,16 @@ func RunMulti(cfg MultiConfig) []Result {
 		col gc.Collector
 		run *mutator.Run
 	}
+	if cfg.Trace != nil {
+		cfg.Trace.SetClock(clock)
+	}
 	jvms := make([]*jvm, cfg.JVMs)
 	for i := range jvms {
 		env := gc.NewEnv(v, fmt.Sprintf("%s-%d", cfg.Collector, i), cfg.HeapBytes)
+		if cfg.Trace != nil {
+			env.Trace = cfg.Trace.Thread(fmt.Sprintf("%s-%d", cfg.Collector, i))
+		}
+		env.Counters = cfg.Counters
 		types := mutator.DeclareTypes(env)
 		col := NewCollector(cfg.Collector, env)
 		jvms[i] = &jvm{
@@ -292,6 +362,7 @@ func RunMulti(cfg MultiConfig) []Result {
 			GCStats:     *j.col.Stats(),
 			ProcStats:   j.env.Proc.Stats(),
 			ElapsedSecs: (clock.Now() - j.col.Stats().Timeline.Start).Seconds(),
+			Counters:    cfg.Counters,
 		}
 	}
 	return out

@@ -1,0 +1,246 @@
+package trace
+
+import "math/bits"
+
+// Counter identifies one monotonic counter in the registry. The set
+// covers the quantities the paper's evaluation and DESIGN.md's ablations
+// reason about: bookmark traffic, incoming-counter churn, page movement,
+// remembered-set filtering, and compaction copy volume.
+type Counter uint8
+
+const (
+	// CObjectsBookmarked counts bookmark bits set (§3.4).
+	CObjectsBookmarked Counter = iota
+	// CIncomingBumps counts incoming-bookmark counter increments.
+	CIncomingBumps
+	// CIncomingDecrements counts incoming-bookmark counter decrements.
+	CIncomingDecrements
+	// CPagesDiscarded counts empty pages returned via madvise (§3.3.2).
+	CPagesDiscarded
+	// CPagesProcessed counts occupied pages scanned and relinquished.
+	CPagesProcessed
+	// CPagesReloaded counts pages brought back by faults.
+	CPagesReloaded
+	// CRemsetFlushes counts write-buffer overflow filterings (§3.1).
+	CRemsetFlushes
+	// CRemsetEntriesFiltered counts buffered slots pruned at flush.
+	CRemsetEntriesFiltered
+	// CRemsetEntriesCarded counts buffered slots demoted to card marks.
+	CRemsetEntriesCarded
+	// CSuperpagesAcquired counts superpages assigned to a size class.
+	CSuperpagesAcquired
+	// CSuperpagesReleased counts superpages returned to the free pool.
+	CSuperpagesReleased
+	// CLOSAllocs counts large-object allocations.
+	CLOSAllocs
+	// CLOSPagesAllocated counts pages placed under large objects.
+	CLOSPagesAllocated
+	// CBumpAllocs counts bump-pointer allocations (nursery/semispace).
+	CBumpAllocs
+	// CPromotedBytes counts bytes copied nursery -> mature.
+	CPromotedBytes
+	// CForwardedObjects counts objects moved by compaction.
+	CForwardedObjects
+	// CForwardedBytes counts bytes moved by compaction (§3.2).
+	CForwardedBytes
+	// CHeapShrinks counts footprint-target reductions (§3.3.3).
+	CHeapShrinks
+	// CHeapRegrows counts footprint-target raises (§7 extension).
+	CHeapRegrows
+	// CPreventiveBookmarks counts pages processed mid-collection (§3.4.3).
+	CPreventiveBookmarks
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CObjectsBookmarked:     "objects_bookmarked",
+	CIncomingBumps:         "incoming_bumps",
+	CIncomingDecrements:    "incoming_decrements",
+	CPagesDiscarded:        "pages_discarded",
+	CPagesProcessed:        "pages_processed",
+	CPagesReloaded:         "pages_reloaded",
+	CRemsetFlushes:         "remset_flushes",
+	CRemsetEntriesFiltered: "remset_entries_filtered",
+	CRemsetEntriesCarded:   "remset_entries_carded",
+	CSuperpagesAcquired:    "superpages_acquired",
+	CSuperpagesReleased:    "superpages_released",
+	CLOSAllocs:             "los_allocs",
+	CLOSPagesAllocated:     "los_pages_allocated",
+	CBumpAllocs:            "bump_allocs",
+	CPromotedBytes:         "promoted_bytes",
+	CForwardedObjects:      "forwarded_objects",
+	CForwardedBytes:        "forwarded_bytes",
+	CHeapShrinks:           "heap_shrinks",
+	CHeapRegrows:           "heap_regrows",
+	CPreventiveBookmarks:   "preventive_bookmarks",
+}
+
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "invalid"
+}
+
+// NumCounters is the number of defined counters.
+const NumCounters = int(numCounters)
+
+// Hist identifies one histogram in the registry.
+type Hist uint8
+
+const (
+	// HDiscardBatch observes pages discarded per eviction notification —
+	// the word-at-a-time aggressive discard of §3.4.3.
+	HDiscardBatch Hist = iota
+	// HPageBookmarks observes objects bookmarked per processed page.
+	HPageBookmarks
+
+	numHists
+)
+
+var histNames = [numHists]string{
+	HDiscardBatch:  "discard_batch_pages",
+	HPageBookmarks: "page_bookmarks",
+}
+
+func (h Hist) String() string {
+	if int(h) < len(histNames) {
+		return histNames[h]
+	}
+	return "invalid"
+}
+
+// NumHists is the number of defined histograms.
+const NumHists = int(numHists)
+
+// Vec identifies one counter vector (a counter family indexed by a small
+// integer, e.g. a size-class index).
+type Vec uint8
+
+const (
+	// VSuperAllocsByClass counts superpage acquisitions per size-class
+	// index.
+	VSuperAllocsByClass Vec = iota
+
+	numVecs
+)
+
+var vecNames = [numVecs]string{
+	VSuperAllocsByClass: "superpage_allocs_by_class",
+}
+
+func (v Vec) String() string {
+	if int(v) < len(vecNames) {
+		return vecNames[v]
+	}
+	return "invalid"
+}
+
+// NumVecs is the number of defined counter vectors.
+const NumVecs = int(numVecs)
+
+// histBuckets is the number of power-of-two histogram buckets; bucket i
+// holds values whose bit length is i (bucket 0 holds zero), the last
+// bucket saturating.
+const histBuckets = 16
+
+// Histogram accumulates a distribution in power-of-two buckets.
+type Histogram struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+func (h *Histogram) observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Counters is the registry: fixed arrays of counters and histograms plus
+// growable counter vectors. All methods are nil-receiver safe, so the
+// disabled configuration (a nil *Counters threaded through the stack)
+// costs one nil check per site and allocates nothing.
+type Counters struct {
+	vals  [numCounters]uint64
+	hists [numHists]Histogram
+	vecs  [numVecs][]uint64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters { return &Counters{} }
+
+// Inc adds 1 to counter id.
+func (c *Counters) Inc(id Counter) {
+	if c != nil {
+		c.vals[id]++
+	}
+}
+
+// Add adds n to counter id.
+func (c *Counters) Add(id Counter, n uint64) {
+	if c != nil {
+		c.vals[id] += n
+	}
+}
+
+// Get returns counter id's value (0 on a nil registry).
+func (c *Counters) Get(id Counter) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.vals[id]
+}
+
+// Observe records v into histogram id.
+func (c *Counters) Observe(id Hist, v uint64) {
+	if c != nil {
+		c.hists[id].observe(v)
+	}
+}
+
+// Histogram returns a copy of histogram id (zero value on nil).
+func (c *Counters) Histogram(id Hist) Histogram {
+	if c == nil {
+		return Histogram{}
+	}
+	return c.hists[id]
+}
+
+// AddVec adds n to element idx of vector id, growing it as needed.
+func (c *Counters) AddVec(id Vec, idx int, n uint64) {
+	if c == nil || idx < 0 {
+		return
+	}
+	for len(c.vecs[id]) <= idx {
+		c.vecs[id] = append(c.vecs[id], 0)
+	}
+	c.vecs[id][idx] += n
+}
+
+// VecValues returns a copy of vector id's elements (nil when empty).
+func (c *Counters) VecValues(id Vec) []uint64 {
+	if c == nil || len(c.vecs[id]) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(c.vecs[id]))
+	copy(out, c.vecs[id])
+	return out
+}
