@@ -155,10 +155,16 @@ func (m *Machine) FreeMemory() uint64 { return uint64(m.vm.FreeFrames()) * mem.P
 func (m *Machine) VMM() *vmm.VMM { return m.vm }
 
 // NewRuntime starts a managed runtime (a simulated JVM process) on the
-// machine with the given collector and heap budget.
+// machine with the given collector and heap budget. An unknown collector
+// kind is a programming error and panics; use the sim package directly
+// for an error-returning constructor.
 func (m *Machine) NewRuntime(name string, kind CollectorKind, heapBytes uint64) *Runtime {
 	env := gc.NewEnv(m.vm, name, heapBytes)
-	return &Runtime{env: env, col: sim.NewCollector(kind, env)}
+	col, err := sim.NewCollector(kind, env)
+	if err != nil {
+		panic(err)
+	}
+	return &Runtime{env: env, col: col}
 }
 
 // Runtime is one managed process: a heap, a collector, and a root

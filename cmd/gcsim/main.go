@@ -6,41 +6,38 @@
 //
 //	gcsim [-collector BC] [-program pseudojbb] [-heap 77] [-phys 256]
 //	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
+//	      [-chaos regime] [-chaos-seed 1]
 //	      [-trace out.json] [-trace-format chrome|jsonl] [-counters]
 //
 // -steal f   pins f*heap immediately (steady pressure, Figure 3)
 // -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
 // -jvms n    runs n instances round-robin on one machine (Figure 7)
+// -chaos r   injects kernel faults into the cooperation protocol
+//            (drop, delay, duplicate, reorder, no-notify, reload-storm,
+//            thrash); -chaos-seed drives the injector's PRNG
 // -trace f   writes GC phase spans and VM-cooperation events to f
 // -counters  prints the event-counter registry after the run
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
 )
 
 func main() {
-	// Impossible configurations (live data over the heap budget) panic
-	// with ErrOutOfMemory deep in the run; report them politely.
-	defer func() {
-		if r := recover(); r != nil {
-			if oom, ok := r.(gc.ErrOutOfMemory); ok {
-				fmt.Fprintf(os.Stderr, "gcsim: %v\ngcsim: the workload's live data does not fit this heap — raise -heap or -scale\n", oom)
-				os.Exit(1)
-			}
-			panic(r)
-		}
-	}()
 	var (
 		collector = flag.String("collector", "BC", "collector kind (BC, BCResizeOnly, GenMS, GenCopy, CopyMS, MarkSweep, SemiSpace, GenMSFixed, GenCopyFixed)")
 		program   = flag.String("program", "pseudojbb", "benchmark program (see Table 1)")
@@ -52,6 +49,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		jvms      = flag.Int("jvms", 1, "number of simultaneous JVM instances")
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
+		chaos     = flag.String("chaos", "", "inject kernel faults: drop, delay, duplicate, reorder, no-notify, reload-storm, thrash")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's PRNG")
 		traceOut  = flag.String("trace", "", "write a GC event trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
 		counters  = flag.Bool("counters", false, "print the event-counter registry after the run")
@@ -86,6 +85,17 @@ func main() {
 	if *traceFmt != "chrome" && *traceFmt != "jsonl" {
 		fail("-trace-format %q must be chrome or jsonl", *traceFmt)
 	}
+	var chaosCfg *fault.Config
+	if *chaos != "" {
+		cfg, ok := fault.ByName(*chaos, *chaosSeed)
+		if !ok {
+			fail("unknown -chaos regime %q (regimes: %s)", *chaos, strings.Join(fault.Regimes(), ", "))
+		}
+		if *jvms > 1 {
+			fail("-chaos is single-JVM only; drop -jvms")
+		}
+		chaosCfg = &cfg
+	}
 
 	prog, ok := mutator.ByName(*program)
 	if !ok {
@@ -94,6 +104,10 @@ func main() {
 	prog = prog.Scale(*scale)
 	heap := mem.RoundUpPage(uint64(*heapMB * *scale * (1 << 20)))
 	phys := mem.RoundUpPage(uint64(*physMB * *scale * (1 << 20)))
+	if phys < vmm.MinPhysBytes {
+		fail("-phys %v at -scale %v is a %d-byte machine; the smallest simulable machine is %d bytes",
+			*physMB, *scale, phys, vmm.MinPhysBytes)
+	}
 
 	var pressure *sim.Pressure
 	switch {
@@ -108,6 +122,7 @@ func main() {
 			Program:   prog, HeapBytes: heap, PhysBytes: phys,
 			Seed: *seed,
 		})
+		checkErr(base.Err)
 		avail := mem.RoundUpPage(uint64(*availMB * *scale * (1 << 20)))
 		initial := mem.RoundUpPage(uint64(30 * *scale * (1 << 20)))
 		grow := mem.RoundUpPage(uint64(*scale * (1 << 20)))
@@ -134,6 +149,10 @@ func main() {
 			Trace: rec, Counters: reg,
 		})
 		for i, r := range results {
+			if r.Err != nil {
+				fmt.Printf("jvm%d: FAILED: %v\n", i, r.Err)
+				continue
+			}
 			fmt.Printf("jvm%d: %s\n", i, summary(r))
 		}
 		finish(rec, reg, *traceOut, *traceFmt, *counters)
@@ -143,10 +162,14 @@ func main() {
 	r := sim.Run(sim.RunConfig{
 		Collector: sim.CollectorKind(*collector),
 		Program:   prog, HeapBytes: heap, PhysBytes: phys,
-		Pressure: pressure, Seed: *seed,
+		Pressure: pressure, Seed: *seed, Chaos: chaosCfg,
 		Trace: rec, Counters: reg,
 	})
+	checkErr(r.Err)
 	fmt.Println(summary(r))
+	if r.Faults != nil {
+		fmt.Printf("chaos(%s, seed %d): %s\n", *chaos, *chaosSeed, r.Faults)
+	}
 	if *bmu {
 		total := r.Timeline.Elapsed()
 		fmt.Println("BMU curve (window -> utilization):")
@@ -155,6 +178,21 @@ func main() {
 		}
 	}
 	finish(rec, reg, *traceOut, *traceFmt, *counters)
+}
+
+// checkErr reports a failed run: impossible configurations (live data
+// over the heap budget) exit 1 with a hint; anything else exits 2.
+func checkErr(err error) {
+	if err == nil {
+		return
+	}
+	var oom gc.ErrOutOfMemory
+	if errors.As(err, &oom) {
+		fmt.Fprintf(os.Stderr, "gcsim: %v\ngcsim: the workload's live data does not fit this heap — raise -heap or -scale\n", oom)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gcsim: %v\n", err)
+	os.Exit(2)
 }
 
 // finish exports the trace file and prints the counter registry.

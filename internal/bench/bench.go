@@ -17,7 +17,6 @@ import (
 	"strings"
 	"time"
 
-	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
@@ -121,23 +120,16 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// runOK executes a configuration, converting an out-of-memory panic into
-// ok=false (used by the min-heap search). When o.Counters is set, each
-// run gets its own registry, readable from Result.Counters.
+// runOK executes a configuration, converting a failed run (out of
+// memory, bad collector) into ok=false (used by the min-heap search).
+// When o.Counters is set, each run gets its own registry, readable from
+// Result.Counters.
 func runOK(o Options, cfg sim.RunConfig) (res sim.Result, ok bool) {
 	if o.Counters {
 		cfg.Counters = trace.NewCounters()
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			if _, oom := r.(gc.ErrOutOfMemory); oom {
-				ok = false
-				return
-			}
-			panic(r)
-		}
-	}()
-	return sim.Run(cfg), true
+	res = sim.Run(cfg)
+	return res, res.Err == nil
 }
 
 // counterNote renders one run's cooperation counters as a report note.

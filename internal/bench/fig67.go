@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/sim"
@@ -144,16 +143,14 @@ func fig7Labels() []string {
 	return out
 }
 
-// runMultiOK wraps sim.RunMulti with OOM recovery.
+// runMultiOK runs a multi-JVM configuration, reporting ok=false when any
+// instance failed (the sweeps treat a partial machine as a missing point).
 func runMultiOK(cfg sim.MultiConfig) (rs []sim.Result, ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, oom := r.(gc.ErrOutOfMemory); oom {
-				rs, ok = nil, false
-				return
-			}
-			panic(r)
+	rs = sim.RunMulti(cfg)
+	for _, r := range rs {
+		if r.Err != nil {
+			return nil, false
 		}
-	}()
-	return sim.RunMulti(cfg), true
+	}
+	return rs, true
 }

@@ -96,6 +96,14 @@ type BC struct {
 	// keeping the record exact avoids drift for objects straddling pages.
 	pageTargets map[mem.PageID]*pageRecord
 
+	// deferredTargets holds records whose page has reloaded but whose
+	// release had to wait: an object the record covers still straddles
+	// an evicted page, so the edges recorded for it are not scannable
+	// yet. Releasing early would let a reload of the header's page drop
+	// the incoming counters protecting targets reachable only through
+	// slots that are still paged out.
+	deferredTargets map[mem.PageID]*pageRecord
+
 	losIncoming map[objmodel.Ref]int // incoming bookmark counts, LOS objects
 
 	// footprintTarget is the page budget pressure has squeezed us to
@@ -107,8 +115,22 @@ type BC struct {
 	inGC          bool
 	pendingGC     bool   // eviction handler requested a collection (§3.3.2)
 	allocsSinceGC uint64 // mutator progress since the last handler-triggered GC
+
+	// gcRequestAfter is the allocation progress required before the
+	// eviction handler may request another collection. It starts at
+	// minGCRequestAfter and doubles each time a requested collection
+	// frees no pages (the mutator is retaining everything), so repeated
+	// no-progress requests back off instead of livelocking the run in
+	// futile full collections.
+	gcRequestAfter uint64
+
 	lastNotify    time.Duration
 	evictedHeapPg int // count of evicted heap pages
+
+	// silentEvictions counts pages the residency audit found evicted
+	// without notification (audit.go). Past silentEvictionLimit the
+	// kernel is untrusted and every full collection is the fail-safe.
+	silentEvictions int
 
 	// booksValid is false between a fail-safe collection (§3.5), which
 	// discards all bookmark state, and the first collection that ends
@@ -132,6 +154,10 @@ type BC struct {
 	// is stored to the page and the cache is dropped whenever the nursery
 	// empties, so a cached false verdict is always sound.
 	nurseryPtrCache map[mem.PageID]bool
+
+	// afterGC, when set, runs at the end of every collection, books
+	// settled (OnCollectionEnd). Harnesses hang invariant checks on it.
+	afterGC func()
 }
 
 type pageRecord struct {
@@ -152,9 +178,11 @@ func New(env *gc.Env, cfg Config) *BC {
 		evicted:         mem.NewBitmap(env.Space.Pages()),
 		processed:       mem.NewBitmap(env.Space.Pages()),
 		pageTargets:     make(map[mem.PageID]*pageRecord),
+		deferredTargets: make(map[mem.PageID]*pageRecord),
 		losIncoming:     make(map[objmodel.Ref]int),
 		footprintTarget: math.MaxInt,
 		allocsSinceGC:   1 << 20,
+		gcRequestAfter:  minGCRequestAfter,
 		nurseryPtrCache: make(map[mem.PageID]bool),
 		booksValid:      true,
 	}
@@ -275,7 +303,19 @@ func (c *BC) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 		// safepoint since. Freshly emptied pages become discardable for
 		// the next notifications (§3.3.2).
 		c.pendingGC = false
+		before := c.UsedPages()
 		c.Collect(true)
+		if c.UsedPages() >= before {
+			// The requested collection freed nothing: the mutator is
+			// retaining what it allocates, and asking again soon cannot
+			// help. Require more allocation progress each time.
+			if c.gcRequestAfter < maxGCRequestAfter {
+				c.gcRequestAfter *= 2
+				c.E.Counters.Inc(trace.CGCRequestBackoffs)
+			}
+		} else {
+			c.gcRequestAfter = minGCRequestAfter
+		}
 	}
 	total := t.TotalBytes(arrayLen)
 	_, small := c.E.Classes.ForSize(total)
@@ -334,11 +374,35 @@ func (c *BC) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) {
 	}
 }
 
+// minGCRequestAfter / maxGCRequestAfter bound the allocation-progress
+// threshold for handler-requested collections (see gcRequestAfter).
+const (
+	minGCRequestAfter = 512
+	maxGCRequestAfter = 1 << 16
+)
+
+// OnCollectionEnd registers fn to run at the end of every collection
+// (nursery, full, compaction, fail-safe), after the books are settled but
+// within the pause. Harnesses use it to check invariants after each GC;
+// fn must not allocate through the collector.
+func (c *BC) OnCollectionEnd(fn func()) { c.afterGC = fn }
+
+// collectionDone fires the OnCollectionEnd hook.
+func (c *BC) collectionDone() {
+	if c.afterGC != nil {
+		c.afterGC()
+	}
+}
+
 // Collect implements gc.Collector.
 func (c *BC) Collect(full bool) {
 	if c.inGC {
 		return
 	}
+	// Before trusting any of the books, reconcile them with the kernel:
+	// pages may have left or returned without the notifications that
+	// normally keep the bit arrays true (audit.go).
+	c.auditResidency()
 	if full {
 		c.fullGC()
 	} else {
@@ -384,9 +448,22 @@ func (c *BC) copyToMature(o objmodel.Ref, work *gc.WorkList) objmodel.Ref {
 	gc.CopyObject(c.E.Space, o, dst, size)
 	objmodel.Forward(c.E.Space, o, dst)
 	c.markRangeResident(dst, size)
+	c.invalidateNurseryPtrCache(dst, size)
 	c.E.Counters.Add(trace.CPromotedBytes, uint64(size))
 	work.Push(dst)
 	return dst
+}
+
+// invalidateNurseryPtrCache drops the memoized "no nursery pointer"
+// verdicts for every page a GC copy landed on. The copied fields may
+// include not-yet-forwarded nursery references, which the mutator-side
+// invalidation in WriteRef never sees; a stale false verdict here would
+// let a mid-collection eviction process the page and silently drop those
+// edges (bookmarks cannot point into the nursery).
+func (c *BC) invalidateNurseryPtrCache(dst objmodel.Ref, size int) {
+	for p := dst.Page(); p <= (dst + mem.Addr(size) - 1).Page(); p++ {
+		delete(c.nurseryPtrCache, p)
+	}
 }
 
 // nurseryGC copies nursery survivors into the mature space. Roots are the
@@ -434,6 +511,7 @@ func (c *BC) nurseryGC() {
 		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
 	}
 	c.resetNursery()
+	c.collectionDone()
 }
 
 // scanCard visits the objects overlapping a marked card and forwards
@@ -511,6 +589,14 @@ func (c *BC) superHasEvicted(idx int) bool {
 // objects are secondary roots, references to evicted pages are ignored,
 // and only memory-resident pages are swept.
 func (c *BC) fullGC() {
+	if c.untrusted() && !c.cfg.ResizeOnly {
+		// Notifications have proven untrustworthy (audit.go): the
+		// bookmark invariant cannot be maintained, so every full
+		// collection is the §3.5 fail-safe from here on.
+		c.E.Counters.Inc(trace.CFailSafesForced)
+		c.failSafe()
+		return
+	}
 	c.inGC = true
 	defer func() { c.inGC = false }()
 	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
@@ -564,12 +650,15 @@ func (c *BC) fullGC() {
 	c.E.Trace.End(trace.PhaseSweep)
 	c.resetNursery()
 	c.maybeRevalidate()
+	c.collectionDone()
 }
 
 // maybeRevalidate restores cooperative mode once nothing is evicted: the
-// bookmark invariant then holds trivially.
+// bookmark invariant then holds trivially. An untrusted kernel (audit.go)
+// never revalidates — pages will keep leaving without notice, so freshly
+// rebuilt books would be wrong again immediately.
 func (c *BC) maybeRevalidate() {
-	if !c.booksValid && c.evictedHeapPg == 0 {
+	if !c.booksValid && c.evictedHeapPg == 0 && !c.untrusted() {
 		c.booksValid = true
 	}
 }

@@ -11,6 +11,9 @@ import (
 )
 
 // newBC builds a BC on a machine with physMB of RAM and a heapMB budget.
+// Every collection the BC performs is followed by a CheckInvariants
+// audit, so any regression test that corrupts the books fails at the
+// collection that corrupted them, not at its final assertion.
 func newBC(t testing.TB, physMB, heapMB int, cfg Config) (*vmm.VMM, *BC, *objmodel.Type, *objmodel.Type, *objmodel.Type) {
 	t.Helper()
 	clock := vmm.NewClock()
@@ -20,6 +23,11 @@ func newBC(t testing.TB, physMB, heapMB int, cfg Config) (*vmm.VMM, *BC, *objmod
 	refArr := env.Types.Array("refArr", true)
 	dataArr := env.Types.Array("dataArr", false)
 	c := New(env, cfg)
+	c.OnCollectionEnd(func() {
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after collection: %v", err)
+		}
+	})
 	return v, c, node, refArr, dataArr
 }
 

@@ -92,6 +92,20 @@ func (c *BC) checkBookBalance() error {
 			losRefs[o]++
 		}
 	}
+	// Deferred records belong to pages that have already reloaded but
+	// whose release waits on a straddling object's other pages; their
+	// increments are still outstanding.
+	for p, rec := range c.deferredTargets {
+		if c.straddlingEvicted(p) == 0 {
+			return fmt.Errorf("page %d has a deferred record but nothing straddling evicted pages", p)
+		}
+		for _, idx := range rec.supers {
+			superRefs[int(idx)]++
+		}
+		for _, o := range rec.los {
+			losRefs[o]++
+		}
+	}
 	var err error
 	c.SS.ForEachSuper(func(idx int, _ objmodel.SizeClass, _ objmodel.Kind) {
 		if err != nil {

@@ -23,6 +23,7 @@ import (
 //     target into target superpages, evacuating the nursery too;
 //  5. empty non-target superpages are released.
 func (c *BC) compact() {
+	c.auditResidency()
 	c.inGC = true
 	defer func() { c.inGC = false }()
 	done := c.Stats().BeginPause(c.E, metrics.PauseCompact)
@@ -131,6 +132,7 @@ func (c *BC) compact() {
 	c.resetNursery()
 	c.resizeNursery()
 	c.maybeRevalidate()
+	c.collectionDone()
 }
 
 // tkey identifies a (size class, kind) allocation bucket.
@@ -230,6 +232,7 @@ func (c *BC) compactCopy(o objmodel.Ref, targets *targetSet, work *gc.WorkList, 
 	objmodel.Forward(c.E.Space, o, dst)
 	objmodel.SetMark(c.E.Space, dst, epoch2)
 	c.markRangeResident(dst, size)
+	c.invalidateNurseryPtrCache(dst, size)
 	c.E.Counters.Inc(trace.CForwardedObjects)
 	c.E.Counters.Add(trace.CForwardedBytes, uint64(size))
 	work.Push(dst)

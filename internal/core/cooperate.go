@@ -1,12 +1,14 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
 	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
 )
 
 // bcHandler adapts BC to the vmm.Handler interface. It is a distinct type
@@ -27,6 +29,29 @@ type bcHandler BC
 //  5. otherwise bookmark the victim and relinquish it (§3.4).
 func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 	c := (*BC)(h)
+	// Trust no notification blindly: the signal may be stale (the kernel
+	// already evicted or discarded the page before delivery) or a
+	// duplicate of one already acted on. Acting on either would scan a
+	// page that is gone or unbookmark state mid-eviction. The kernel's
+	// page table is the authority; a genuinely fresh notification always
+	// names a resident page BC does not yet count as leaving.
+	switch st := c.E.Proc.State(p); {
+	case st == vmm.Evicted && !c.evicted.Test(int(p)):
+		// The page left before the signal landed — a silent eviction
+		// learned about late. Repair now rather than at the next audit.
+		c.noteSilentEviction(p)
+		return
+	case st != vmm.Resident:
+		c.E.Trace.Point(trace.EvNotificationIgnored, int64(p), 0)
+		c.E.Counters.Inc(trace.CStaleNotices)
+		return
+	case c.evicted.Test(int(p)):
+		// Already mid-eviction in BC's books (processed and relinquished,
+		// or noted as leaving): a repeated delivery.
+		c.E.Trace.Point(trace.EvNotificationIgnored, int64(p), 1)
+		c.E.Counters.Inc(trace.CDuplicateNotices)
+		return
+	}
 	c.lastNotify = c.E.Clock.Now()
 	c.E.Trace.Point(trace.EvEvictionScheduled, int64(p), 0)
 	c.shrinkTarget()
@@ -49,7 +74,10 @@ func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 	// here we can only bookmark, discard, and veto, all non-moving.
 	// Guard against requesting repeatedly with no allocation progress in
 	// between: a mutator that is only reading generates no new garbage.
-	if !c.inGC && c.allocsSinceGC >= 512 {
+	// The threshold doubles while requested collections free nothing
+	// (see Alloc), so a mutator retaining everything it allocates does
+	// not drown in futile full collections.
+	if !c.inGC && c.allocsSinceGC >= c.gcRequestAfter {
 		c.allocsSinceGC = 0
 		c.pendingGC = true
 	}
@@ -73,13 +101,32 @@ func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 // this page are cleared (§3.4.2).
 func (h *bcHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
 	c := (*BC)(h)
-	c.E.Proc.Unprotect(p)
+	// A reload the kernel could legitimately report names a page that is
+	// resident and unprotected: a major fault leaves the page resident
+	// before the signal, and a protection fault clears the protection
+	// before delivering it. Anything else is spurious — and acting on a
+	// forged reload for a protected page awaiting eviction would clear
+	// bookmarks whose page is still going to leave, losing its edges.
+	if c.E.Proc.State(p) != vmm.Resident || c.E.Proc.Protected(p) {
+		c.E.Trace.Point(trace.EvNotificationIgnored, int64(p), 2)
+		c.E.Counters.Inc(trace.CSpuriousReloads)
+		return
+	}
 	wasEv := int64(0)
 	if wasEvicted {
 		wasEv = 1
 	}
 	c.E.Trace.Point(trace.EvPageReloaded, int64(p), wasEv)
 	c.E.Counters.Inc(trace.CPagesReloaded)
+	c.reloadBooks(p)
+}
+
+// reloadBooks performs the §3.4.2 reload bookkeeping for page p: access
+// restored, residency bits fixed, and — if p's eviction-time scan set
+// bookmarks — incoming counters decremented and stale bookmarks cleared.
+// Shared by the reload handler and the residency audit.
+func (c *BC) reloadBooks(p mem.PageID) {
+	c.E.Proc.Unprotect(p)
 	if c.evicted.Test(int(p)) {
 		c.evicted.Clear(int(p))
 		c.evictedHeapPg--
@@ -89,6 +136,9 @@ func (h *bcHandler) PageReloaded(p mem.PageID, wasEvicted bool) {
 		c.processed.Clear(int(p))
 		c.unbookmarkPage(p)
 	}
+	// p becoming resident may complete the extent of a straddling object
+	// some earlier reload's release was waiting on.
+	c.retryDeferred()
 }
 
 // shrinkTarget limits the heap to the current footprint (§3.3.3). The
@@ -388,9 +438,7 @@ func (c *BC) processAndEvict(p mem.PageID) {
 		objmodel.SetBookmark(c.E.Space, o) // conservative (§3.4)
 		booked++
 		c.E.Counters.Inc(trace.CObjectsBookmarked)
-		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
-			bookmarkTarget(tgt)
-		})
+		c.scanForEviction(o, bookmarkTarget)
 	})
 
 	if len(rec.supers) > 0 || len(rec.los) > 0 {
@@ -404,6 +452,28 @@ func (c *BC) processAndEvict(p mem.PageID) {
 	c.E.Counters.Observe(trace.HPageBookmarks, uint64(booked))
 	c.E.Proc.Protect(p)
 	c.E.Proc.Relinquish([]mem.PageID{p})
+}
+
+// scanForEviction reads o's reference slots for the eviction-time scan.
+// Unlike scanLive — the marking helper, which rightly drops targets on
+// evicted pages because they cannot be marked — a target on an evicted
+// page must still reach bookmarkTarget: its superpage's incoming counter
+// has to rise either way, or the target page's reload would see a zero
+// count and clear the conservative bookmark this edge depends on
+// (§3.4.2). Slots on evicted pages (straddling objects) are still
+// skipped: they cannot be read, and the record made when their page left
+// already covers them.
+func (c *BC) scanForEviction(o objmodel.Ref, fn func(tgt objmodel.Ref)) {
+	t, n := c.E.Types.TypeOf(c.E.Space, o)
+	for i := 0; i < t.NumRefSlots(n); i++ {
+		slot := t.RefSlotAddr(o, i)
+		if !c.pageOK(slot.Page()) {
+			continue
+		}
+		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
+			fn(tgt)
+		}
+	}
 }
 
 // forEachObjectOverlapping visits live objects whose extent overlaps p.
@@ -426,32 +496,128 @@ func (c *BC) forEachObjectOverlapping(p mem.PageID, fn func(o objmodel.Ref)) {
 // the incoming counters it raised, clear bookmarks on superpages whose
 // count drops to zero, and clear the conservative bookmarks on p itself
 // if its own superpage has no incoming bookmarks (§3.4.2).
+//
+// A page's record covers every edge of every object that overlapped p
+// at processing time — including slots physically on OTHER pages of a
+// straddling object, which became unscannable along with the header.
+// If a covered object still extends onto an evicted page, those edges
+// are still unscannable, so the record cannot be released yet: its
+// decrements are deferred until every page under the object is back
+// (retryDeferred). Releasing early would drop the incoming counter to
+// zero and clear the conservative bookmark on a target reachable only
+// through a slot that is still paged out, and the next collection would
+// sweep it.
 func (c *BC) unbookmarkPage(p mem.PageID) {
-	decs := int64(0)
 	if rec, ok := c.pageTargets[p]; ok {
 		delete(c.pageTargets, p)
-		for _, idx := range rec.supers {
-			decs++
-			c.E.Counters.Inc(trace.CIncomingDecrements)
-			if c.SS.Used(int(idx)) && c.SS.DecIncoming(int(idx)) == 0 {
-				c.clearSuperBookmarks(int(idx))
+		if n := c.straddlingEvicted(p); n > 0 {
+			c.E.Trace.Point(trace.EvBookmarkDeferred, int64(p), int64(n))
+			c.E.Counters.Inc(trace.CDeferredUnbookmarks)
+			if old, dup := c.deferredTargets[p]; dup {
+				old.supers = append(old.supers, rec.supers...)
+				old.los = append(old.los, rec.los...)
+			} else {
+				c.deferredTargets[p] = rec
+			}
+		} else {
+			c.E.Trace.Point(trace.EvBookmarkCleared, int64(p), c.releaseRecord(rec))
+		}
+	} else {
+		c.E.Trace.Point(trace.EvBookmarkCleared, int64(p), 0)
+	}
+	c.clearConservative(p)
+}
+
+// releaseRecord applies the decrements a page record holds, clearing
+// bookmarks whose protection lapses, and reports how many it applied.
+func (c *BC) releaseRecord(rec *pageRecord) int64 {
+	decs := int64(0)
+	for _, idx := range rec.supers {
+		decs++
+		c.E.Counters.Inc(trace.CIncomingDecrements)
+		if c.SS.Used(int(idx)) && c.SS.DecIncoming(int(idx)) == 0 {
+			c.clearSuperBookmarks(int(idx))
+		}
+	}
+	for _, o := range rec.los {
+		decs++
+		c.E.Counters.Inc(trace.CIncomingDecrements)
+		if n := c.losIncoming[o] - 1; n > 0 {
+			c.losIncoming[o] = n
+		} else {
+			delete(c.losIncoming, o)
+			if c.pageOK(o.Page()) {
+				objmodel.ClearBookmark(c.E.Space, o)
 			}
 		}
-		for _, o := range rec.los {
-			decs++
-			c.E.Counters.Inc(trace.CIncomingDecrements)
-			if n := c.losIncoming[o] - 1; n > 0 {
-				c.losIncoming[o] = n
-			} else {
-				delete(c.losIncoming, o)
-				if c.pageOK(o.Page()) {
-					objmodel.ClearBookmark(c.E.Space, o)
+	}
+	return decs
+}
+
+// straddlingEvicted counts objects overlapping p whose extent reaches a
+// page still marked evicted. Extents come from always-resident metadata
+// (the superpage's block size, the LOS page span) — no data page is
+// read, since the whole point is that some of those pages are out.
+func (c *BC) straddlingEvicted(p mem.PageID) int {
+	n := 0
+	a := mem.PageAddr(p)
+	switch {
+	case c.SS.Contains(a):
+		idx := c.SS.SuperIndex(a)
+		cl, _, used := c.SS.ClassOf(idx)
+		if !used {
+			return 0
+		}
+		c.SS.ObjectsOverlappingPage(idx, p, func(o objmodel.Ref) {
+			last := (o + mem.Addr(cl.BlockSize) - 1).Page()
+			for q := o.Page(); q <= last; q++ {
+				if c.evicted.Test(int(q)) {
+					n++
+					return
+				}
+			}
+		})
+	case c.LOS.Contains(a):
+		if o, ok := c.LOS.ObjectContaining(a); ok {
+			first, last := c.LOS.PagesOf(o)
+			for q := first; q <= last; q++ {
+				if c.evicted.Test(int(q)) {
+					n++
+					break
 				}
 			}
 		}
 	}
-	c.E.Trace.Point(trace.EvBookmarkCleared, int64(p), decs)
-	// Conservative bookmarks on the reloaded page itself.
+	return n
+}
+
+// retryDeferred releases deferred records whose straddling objects have
+// fully reloaded. Pages are visited in sorted order so a replay with
+// the same seeds clears bookmarks in the same sequence.
+func (c *BC) retryDeferred() {
+	if len(c.deferredTargets) == 0 {
+		return
+	}
+	pages := make([]mem.PageID, 0, len(c.deferredTargets))
+	for p := range c.deferredTargets {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		if c.straddlingEvicted(p) > 0 {
+			continue
+		}
+		rec := c.deferredTargets[p]
+		delete(c.deferredTargets, p)
+		c.E.Trace.Point(trace.EvBookmarkCleared, int64(p), c.releaseRecord(rec))
+		c.clearConservative(p)
+	}
+}
+
+// clearConservative clears the conservative bookmarks on p's own
+// objects once nothing evicted points into their superpage or large
+// object (§3.4.2).
+func (c *BC) clearConservative(p mem.PageID) {
 	a := mem.PageAddr(p)
 	switch {
 	case c.SS.Contains(a):

@@ -14,6 +14,7 @@ import (
 // the worst case for BC, and the common case for every other collector.
 // The page faults this takes are charged to the pause like any other.
 func (c *BC) failSafe() {
+	c.auditResidency()
 	c.inGC = true
 	defer func() { c.inGC = false }()
 	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
@@ -30,6 +31,7 @@ func (c *BC) failSafe() {
 	// The books are zeroed first so the reloads triggered below do not
 	// try to rebalance counters.
 	c.pageTargets = make(map[mem.PageID]*pageRecord)
+	c.deferredTargets = make(map[mem.PageID]*pageRecord)
 	c.processed.ClearAll()
 	for _, o := range c.sortedLOSBookmarks() {
 		delete(c.losIncoming, o)
@@ -86,4 +88,5 @@ func (c *BC) failSafe() {
 	c.resetNursery()
 	c.resizeNursery()
 	c.maybeRevalidate()
+	c.collectionDone()
 }

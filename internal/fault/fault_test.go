@@ -1,0 +1,137 @@
+package fault_test
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/collectors"
+	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/vmm"
+)
+
+func TestByNameCoversEveryRegime(t *testing.T) {
+	for _, name := range fault.Regimes() {
+		cfg, ok := fault.ByName(name, 7)
+		if !ok {
+			t.Fatalf("ByName(%q) not found despite being listed", name)
+		}
+		if cfg.Seed != 7 {
+			t.Fatalf("ByName(%q) dropped the seed: %+v", name, cfg)
+		}
+	}
+	if _, ok := fault.ByName("zap", 1); ok {
+		t.Fatal("ByName accepted an unknown regime")
+	}
+}
+
+// TestInterposeWithoutHandler runs a non-cooperative collector — which
+// registers no vmm.Handler — under an armed injector and eviction
+// pressure. There is no notification stream to corrupt, so nothing may
+// panic and the injector must see zero traffic.
+func TestInterposeWithoutHandler(t *testing.T) {
+	clock := vmm.NewClock()
+	v := vmm.New(clock, 16<<20, vmm.DefaultCosts())
+	env := gc.NewEnv(v, "t", 6<<20)
+	col := collectors.NewMarkSweep(env)
+	types := mutator.DeclareTypes(env)
+	cfg, _ := fault.ByName("drop", 1)
+	inj := fault.Interpose(env.Proc, cfg, nil)
+	run := mutator.NewRun(mutator.PseudoJBB().Scale(0.01), col, types, 1)
+	if extra := v.FreeFrames() - 512; extra > 0 {
+		v.Pin(extra)
+	}
+	for run.Step(256) {
+		inj.Safepoint()
+	}
+	if s := inj.Stats(); s.EvictsSeen != 0 || s.ReloadsSeen != 0 {
+		t.Fatalf("injector saw notifications with no handler registered: %v", s)
+	}
+}
+
+// recHandler records the notification stream it receives.
+type recHandler struct {
+	evicts  []mem.PageID
+	reloads []mem.PageID
+}
+
+func (r *recHandler) EvictionScheduled(p mem.PageID)  { r.evicts = append(r.evicts, p) }
+func (r *recHandler) PageReloaded(p mem.PageID, _ bool) { r.reloads = append(r.reloads, p) }
+
+// driveStream feeds a fixed synthetic notification sequence through an
+// injector with every probabilistic fault armed, returning what came out
+// the other side.
+func driveStream(seed int64) (evicts, reloads []mem.PageID, stats fault.Stats) {
+	clock := vmm.NewClock()
+	v := vmm.New(clock, 8<<20, vmm.DefaultCosts())
+	env := gc.NewEnv(v, "t", 4<<20)
+	rec := &recHandler{}
+	env.Proc.Register(rec)
+	inj := fault.Interpose(env.Proc, fault.Config{
+		Seed:      seed,
+		DropEvict: 0.3, DropReload: 0.2, DelayEvict: 0.2, DupEvict: 0.2,
+		ReorderProb: 0.3, ReorderDepth: 3,
+		StormProb: 0.4, StormReloads: 2,
+	}, nil)
+	for i := 0; i < 500; i++ {
+		inj.EvictionScheduled(mem.PageID(i % 64))
+		if i%7 == 0 {
+			inj.PageReloaded(mem.PageID(i%64), true)
+		}
+		if i%50 == 49 {
+			inj.Safepoint()
+		}
+	}
+	inj.Safepoint()
+	return rec.evicts, rec.reloads, inj.Stats()
+}
+
+// TestInjectorDeterministic replays the same seed over the same stream
+// and requires the corrupted output — order included — to be identical.
+func TestInjectorDeterministic(t *testing.T) {
+	e1, r1, s1 := driveStream(42)
+	e2, r2, s2 := driveStream(42)
+	if s1 != s2 {
+		t.Fatalf("stats diverged across replays:\n%v\n%v", s1, s2)
+	}
+	if len(e1) != len(e2) || len(r1) != len(r2) {
+		t.Fatalf("stream lengths diverged: %d/%d vs %d/%d", len(e1), len(r1), len(e2), len(r2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("evict %d diverged: %d vs %d", i, e1[i], e2[i])
+		}
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("reload %d diverged: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+	if s1.EvictsDropped == 0 || s1.EvictsDelayed == 0 || s1.EvictsDuplicated == 0 ||
+		s1.EvictsReordered == 0 || s1.ReloadsDropped == 0 || s1.SpuriousReloads == 0 {
+		t.Fatalf("a configured fault never fired over 500 notifications: %v", s1)
+	}
+}
+
+// TestMuteSuppressesEverything checks the uncooperative-kernel mode
+// delivers nothing at all.
+func TestMuteSuppressesEverything(t *testing.T) {
+	clock := vmm.NewClock()
+	v := vmm.New(clock, 8<<20, vmm.DefaultCosts())
+	env := gc.NewEnv(v, "t", 4<<20)
+	rec := &recHandler{}
+	env.Proc.Register(rec)
+	inj := fault.Interpose(env.Proc, fault.Config{Mute: true}, nil)
+	for i := 0; i < 100; i++ {
+		inj.EvictionScheduled(mem.PageID(i))
+		inj.PageReloaded(mem.PageID(i), true)
+	}
+	inj.Safepoint()
+	if len(rec.evicts) != 0 || len(rec.reloads) != 0 {
+		t.Fatalf("muted injector delivered %d evicts, %d reloads", len(rec.evicts), len(rec.reloads))
+	}
+	if s := inj.Stats(); s.Muted != 200 {
+		t.Fatalf("Muted = %d, want 200", s.Muted)
+	}
+}

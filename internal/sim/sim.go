@@ -11,6 +11,7 @@ import (
 
 	"bookmarkgc/internal/collectors"
 	"bookmarkgc/internal/core"
+	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
@@ -58,41 +59,43 @@ func fixedNursery(env *gc.Env) int {
 	return n
 }
 
-// NewCollector instantiates kind on env.
-func NewCollector(kind CollectorKind, env *gc.Env) gc.Collector {
+// NewCollector instantiates kind on env. An unknown kind is a
+// configuration error, returned rather than panicked so sweeps and CLIs
+// can report it and move on.
+func NewCollector(kind CollectorKind, env *gc.Env) (gc.Collector, error) {
 	switch kind {
 	case BC:
-		return core.New(env, core.Config{})
+		return core.New(env, core.Config{}), nil
 	case BCResizeOnly:
-		return core.New(env, core.Config{ResizeOnly: true})
+		return core.New(env, core.Config{ResizeOnly: true}), nil
 	case BCNoAggressive:
-		return core.New(env, core.Config{NoAggressiveDiscard: true})
+		return core.New(env, core.Config{NoAggressiveDiscard: true}), nil
 	case BCPointerFree:
-		return core.New(env, core.Config{Victim: core.VictimPreferPointerFree})
+		return core.New(env, core.Config{Victim: core.VictimPreferPointerFree}), nil
 	case BCRegrow:
-		return core.New(env, core.Config{Regrow: true})
+		return core.New(env, core.Config{Regrow: true}), nil
 	case GenMS:
-		return collectors.NewGenMS(env)
+		return collectors.NewGenMS(env), nil
 	case GenMSAdvisor:
-		return collectors.NewAdvisedGenMS(env)
+		return collectors.NewAdvisedGenMS(env), nil
 	case GenMSFixed:
 		c := collectors.NewGenMS(env)
 		c.FixedNurseryPages = fixedNursery(env)
-		return c
+		return c, nil
 	case GenCopy:
-		return collectors.NewGenCopy(env)
+		return collectors.NewGenCopy(env), nil
 	case GenCopyFixed:
 		c := collectors.NewGenCopy(env)
 		c.FixedNurseryPages = fixedNursery(env)
-		return c
+		return c, nil
 	case CopyMS:
-		return collectors.NewCopyMS(env)
+		return collectors.NewCopyMS(env), nil
 	case MarkSweep:
-		return collectors.NewMarkSweep(env)
+		return collectors.NewMarkSweep(env), nil
 	case SemiSpace:
-		return collectors.NewSemiSpace(env)
+		return collectors.NewSemiSpace(env), nil
 	}
-	panic(fmt.Sprintf("sim: unknown collector %q", kind))
+	return nil, fmt.Errorf("sim: unknown collector %q", kind)
 }
 
 // Pressure describes the memory-pressure schedule of one experiment.
@@ -225,7 +228,16 @@ type RunConfig struct {
 	// untraced ones.
 	Trace    *trace.Recorder
 	Counters *trace.Counters
+
+	// Chaos, when non-nil, interposes a fault injector on the process's
+	// notification stream (and arms its pressure-spike schedule). The
+	// mutator then runs in quanta with injector safepoints between them,
+	// so delayed/reordered notifications have delivery points.
+	Chaos *fault.Config
 }
+
+// chaosQuantum is the mutator step size between injector safepoints.
+const chaosQuantum = 512
 
 // Result is the measured outcome of one run.
 type Result struct {
@@ -236,10 +248,20 @@ type Result struct {
 	ProcStats   vmm.ProcStats
 	ElapsedSecs float64
 	Counters    *trace.Counters // the registry passed in, if any
+
+	// Err is non-nil when the run failed rather than completed: an
+	// unknown collector kind, or gc.ErrOutOfMemory recovered at the run
+	// boundary (the rest of the Result then holds the partial
+	// measurements up to the failure). Sweeps check it per configuration
+	// instead of dying wholesale.
+	Err error
+
+	// Faults holds the injector's counts when Chaos was configured.
+	Faults *fault.Stats
 }
 
 // Run executes one configuration to completion.
-func Run(cfg RunConfig) Result {
+func Run(cfg RunConfig) (res Result) {
 	clock := vmm.NewClock()
 	costs := vmm.DefaultCosts()
 	if cfg.Costs != nil {
@@ -255,7 +277,15 @@ func Run(cfg RunConfig) Result {
 	env.Trace = tr
 	env.Counters = cfg.Counters
 	types := mutator.DeclareTypes(env)
-	col := NewCollector(cfg.Collector, env)
+	col, err := NewCollector(cfg.Collector, env)
+	if err != nil {
+		return Result{Config: cfg, Err: err}
+	}
+	var inj *fault.Injector
+	if cfg.Chaos != nil {
+		inj = fault.Interpose(env.Proc, *cfg.Chaos, cfg.Counters)
+		inj.StartSpikes(v)
+	}
 	if cfg.Pressure != nil {
 		StartSignalMem(v, *cfg.Pressure, tr)
 	}
@@ -263,18 +293,46 @@ func Run(cfg RunConfig) Result {
 
 	start := clock.Now()
 	col.Stats().Timeline.Start = start
-	mres := run.RunToCompletion()
-	col.Stats().Timeline.End = clock.Now()
-
-	return Result{
-		Config:      cfg,
-		Timeline:    col.Stats().Timeline,
-		Mutator:     mres,
-		GCStats:     *col.Stats(),
-		ProcStats:   env.Proc.Stats(),
-		ElapsedSecs: (clock.Now() - start).Seconds(),
-		Counters:    cfg.Counters,
+	finish := func(mres mutator.Result, failure error) Result {
+		col.Stats().Timeline.End = clock.Now()
+		r := Result{
+			Config:      cfg,
+			Timeline:    col.Stats().Timeline,
+			Mutator:     mres,
+			GCStats:     *col.Stats(),
+			ProcStats:   env.Proc.Stats(),
+			ElapsedSecs: (clock.Now() - start).Seconds(),
+			Counters:    cfg.Counters,
+			Err:         failure,
+		}
+		if inj != nil {
+			s := inj.Stats()
+			r.Faults = &s
+		}
+		return r
 	}
+	// A live heap that outgrows the budget surfaces as an ErrOutOfMemory
+	// panic deep in an allocation; report it as a failed Result so sweeps
+	// over many configurations survive the ones that cannot fit.
+	defer func() {
+		if r := recover(); r != nil {
+			oom, ok := r.(gc.ErrOutOfMemory)
+			if !ok {
+				panic(r)
+			}
+			res = finish(run.Finish(), oom)
+		}
+	}()
+	var mres mutator.Result
+	if inj != nil {
+		for run.Step(chaosQuantum) {
+			inj.Safepoint()
+		}
+		mres = run.Finish()
+	} else {
+		mres = run.RunToCompletion()
+	}
+	return finish(mres, nil)
 }
 
 // MultiConfig describes n identical JVMs sharing one machine (§5.3.3).
@@ -309,9 +367,10 @@ func RunMulti(cfg MultiConfig) []Result {
 	v := vmm.New(clock, cfg.PhysBytes, costs)
 
 	type jvm struct {
-		env *gc.Env
-		col gc.Collector
-		run *mutator.Run
+		env    *gc.Env
+		col    gc.Collector
+		run    *mutator.Run
+		failed error
 	}
 	if cfg.Trace != nil {
 		cfg.Trace.SetClock(clock)
@@ -324,7 +383,12 @@ func RunMulti(cfg MultiConfig) []Result {
 		}
 		env.Counters = cfg.Counters
 		types := mutator.DeclareTypes(env)
-		col := NewCollector(cfg.Collector, env)
+		col, err := NewCollector(cfg.Collector, env)
+		if err != nil {
+			// Same kind for every JVM: the whole configuration is invalid.
+			return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,
+				HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes}, Err: err}}
+		}
 		jvms[i] = &jvm{
 			env: env,
 			col: col,
@@ -333,14 +397,31 @@ func RunMulti(cfg MultiConfig) []Result {
 		col.Stats().Timeline.Start = clock.Now()
 	}
 
+	// step advances one JVM by a quantum, converting an out-of-memory
+	// panic into a per-JVM failure so the co-tenants keep running —
+	// exactly what happens on a real machine when one process dies.
+	step := func(j *jvm) (alive bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				oom, ok := r.(gc.ErrOutOfMemory)
+				if !ok {
+					panic(r)
+				}
+				j.failed = oom
+				alive = false
+			}
+		}()
+		return j.run.Step(cfg.Quantum)
+	}
+
 	running := cfg.JVMs
 	for running > 0 {
 		running = 0
 		for _, j := range jvms {
-			if j.run.Done() {
+			if j.failed != nil || j.run.Done() {
 				continue
 			}
-			if j.run.Step(cfg.Quantum) {
+			if step(j) {
 				running++
 			} else {
 				j.col.Stats().Timeline.End = clock.Now()
@@ -363,6 +444,7 @@ func RunMulti(cfg MultiConfig) []Result {
 			ProcStats:   j.env.Proc.Stats(),
 			ElapsedSecs: (clock.Now() - j.col.Stats().Timeline.Start).Seconds(),
 			Counters:    cfg.Counters,
+			Err:         j.failed,
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -151,13 +152,14 @@ func TestRunMultiTwoJVMs(t *testing.T) {
 	}
 }
 
-func TestUnknownCollectorPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Run(RunConfig{Collector: "Zap", Program: tinyJBB(), HeapBytes: 8 << 20, PhysBytes: 64 << 20})
+func TestUnknownCollectorFails(t *testing.T) {
+	r := Run(RunConfig{Collector: "Zap", Program: tinyJBB(), HeapBytes: 8 << 20, PhysBytes: 64 << 20})
+	if r.Err == nil {
+		t.Fatal("expected Result.Err for unknown collector")
+	}
+	if !strings.Contains(r.Err.Error(), "Zap") {
+		t.Fatalf("error should name the collector: %v", r.Err)
+	}
 }
 
 func TestAllCollectorsComputeIdenticalChecksum(t *testing.T) {

@@ -50,6 +50,56 @@ const (
 	// CPreventiveBookmarks counts pages processed mid-collection (§3.4.3).
 	CPreventiveBookmarks
 
+	// Hardening counters: BC's defenses against a kernel whose
+	// notifications are lost, late, repeated, or forged (see
+	// internal/fault and DESIGN.md's fault model).
+
+	// CSilentEvictions counts pages found evicted without notification at
+	// the collection-start residency audit.
+	CSilentEvictions
+	// CUnnotifiedReloads counts pages found resident again without a
+	// reload notification (the audit redid the reload bookkeeping).
+	CUnnotifiedReloads
+	// CStaleNotices counts eviction notifications ignored because the
+	// page had already left (or was discarded) by delivery time.
+	CStaleNotices
+	// CDuplicateNotices counts eviction notifications ignored because the
+	// page was already mid-eviction in BC's books.
+	CDuplicateNotices
+	// CSpuriousReloads counts reload notifications ignored because the
+	// kernel could not legitimately have sent them.
+	CSpuriousReloads
+	// CGCRequestBackoffs counts doublings of the handler-requested GC
+	// threshold after a collection freed nothing.
+	CGCRequestBackoffs
+	// CFailSafesForced counts full collections routed to the fail-safe
+	// because notifications stopped being trustworthy.
+	CFailSafesForced
+	// CDeferredUnbookmarks counts reload releases postponed because an
+	// object covered by the page's record still straddles an evicted
+	// page (its recorded edges are not yet scannable again).
+	CDeferredUnbookmarks
+
+	// Fault-injection counters (internal/fault): what the injector did to
+	// the notification stream.
+
+	// CChaosEvictsDropped counts eviction notifications swallowed.
+	CChaosEvictsDropped
+	// CChaosEvictsDelayed counts evictions held until the next safepoint.
+	CChaosEvictsDelayed
+	// CChaosEvictsDuplicated counts evictions delivered twice.
+	CChaosEvictsDuplicated
+	// CChaosEvictsReordered counts evictions buffered for shuffled delivery.
+	CChaosEvictsReordered
+	// CChaosReloadsDropped counts reload notifications swallowed.
+	CChaosReloadsDropped
+	// CChaosSpuriousReloads counts forged reload notifications injected.
+	CChaosSpuriousReloads
+	// CChaosMuted counts notifications suppressed by uncooperative mode.
+	CChaosMuted
+	// CChaosPressureSpikes counts injected SignalMem pressure spikes.
+	CChaosPressureSpikes
+
 	numCounters
 )
 
@@ -74,6 +124,22 @@ var counterNames = [numCounters]string{
 	CHeapShrinks:           "heap_shrinks",
 	CHeapRegrows:           "heap_regrows",
 	CPreventiveBookmarks:   "preventive_bookmarks",
+	CSilentEvictions:       "silent_evictions_repaired",
+	CUnnotifiedReloads:     "unnotified_reloads_repaired",
+	CStaleNotices:          "stale_notices_ignored",
+	CDuplicateNotices:      "duplicate_notices_ignored",
+	CSpuriousReloads:       "spurious_reloads_ignored",
+	CGCRequestBackoffs:     "gc_request_backoffs",
+	CFailSafesForced:       "failsafes_forced",
+	CDeferredUnbookmarks:   "deferred_unbookmarks",
+	CChaosEvictsDropped:    "chaos_evicts_dropped",
+	CChaosEvictsDelayed:    "chaos_evicts_delayed",
+	CChaosEvictsDuplicated: "chaos_evicts_duplicated",
+	CChaosEvictsReordered:  "chaos_evicts_reordered",
+	CChaosReloadsDropped:   "chaos_reloads_dropped",
+	CChaosSpuriousReloads:  "chaos_spurious_reloads",
+	CChaosMuted:            "chaos_muted",
+	CChaosPressureSpikes:   "chaos_pressure_spikes",
 }
 
 func (c Counter) String() string {

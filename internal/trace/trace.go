@@ -88,6 +88,9 @@ const (
 	// EvBookmarkCleared: reload bookkeeping for arg1=page decremented
 	// arg2 incoming-bookmark counters (§3.4.2).
 	EvBookmarkCleared
+	// EvBookmarkDeferred: reload bookkeeping for arg1=page was postponed
+	// because arg2 of its covered objects still straddle evicted pages.
+	EvBookmarkDeferred
 	// EvHeapShrink: the footprint target dropped to arg1 pages from arg2.
 	EvHeapShrink
 	// EvHeapRegrow: the footprint target rose to arg1 pages from arg2.
@@ -97,6 +100,14 @@ const (
 	EvPreventiveBookmark
 	// EvMemoryPinned: signalmem pinned arg1 frames (arg2=total pinned).
 	EvMemoryPinned
+	// EvResidencyRepaired: the collection-start audit found arg1=page out
+	// of sync with the kernel and repaired the books; arg2=0 for a silent
+	// eviction, 1 for an unnotified reload.
+	EvResidencyRepaired
+	// EvNotificationIgnored: a notification for arg1=page was rejected as
+	// impossible; arg2=0 stale eviction, 1 duplicate eviction, 2 spurious
+	// reload.
+	EvNotificationIgnored
 
 	numEvents
 )
@@ -107,10 +118,13 @@ var eventNames = [numEvents]string{
 	EvPageProcessed:      "page-processed",
 	EvPageReloaded:       "page-reloaded",
 	EvBookmarkCleared:    "bookmark-cleared",
+	EvBookmarkDeferred:   "bookmark-deferred",
 	EvHeapShrink:         "heap-shrink",
 	EvHeapRegrow:         "heap-regrow",
-	EvPreventiveBookmark: "preventive-bookmark",
-	EvMemoryPinned:       "memory-pinned",
+	EvPreventiveBookmark:  "preventive-bookmark",
+	EvMemoryPinned:        "memory-pinned",
+	EvResidencyRepaired:   "residency-repaired",
+	EvNotificationIgnored: "notification-ignored",
 }
 
 // eventArgNames names the two arguments of each event for exporters; an
@@ -121,10 +135,13 @@ var eventArgNames = [numEvents][2]string{
 	EvPageProcessed:      {"page", "bookmarked"},
 	EvPageReloaded:       {"page", "wasEvicted"},
 	EvBookmarkCleared:    {"page", "decrements"},
+	EvBookmarkDeferred:   {"page", "straddlers"},
 	EvHeapShrink:         {"targetPages", "was"},
 	EvHeapRegrow:         {"targetPages", "was"},
-	EvPreventiveBookmark: {"page", ""},
-	EvMemoryPinned:       {"frames", "totalPinned"},
+	EvPreventiveBookmark:  {"page", ""},
+	EvMemoryPinned:        {"frames", "totalPinned"},
+	EvResidencyRepaired:   {"page", "kind"},
+	EvNotificationIgnored: {"page", "kind"},
 }
 
 func (e Event) String() string {

@@ -143,6 +143,11 @@ type VMM struct {
 	OnMajorFault func(pid int32, page mem.PageID)
 }
 
+// MinPhysBytes is the smallest machine New accepts: enough frames for
+// the reclaim low-water mark and batch size to be meaningful. CLIs can
+// validate against it up front instead of catching New's panic.
+const MinPhysBytes = 64 * mem.PageSize
+
 // New creates a machine with physBytes of physical memory.
 func New(clock *Clock, physBytes uint64, costs Costs) *VMM {
 	frames := int(physBytes / mem.PageSize)
@@ -417,6 +422,11 @@ func (p *Proc) Stats() ProcStats { return p.stats }
 // Register subscribes the runtime to paging notifications, as the paper's
 // runtime registers with the extended kernel at startup.
 func (p *Proc) Register(h Handler) { p.handler = h }
+
+// Handler returns the currently registered notification handler (nil if
+// none). Fault-injection shims use it to interpose on the notification
+// stream while forwarding to the original receiver.
+func (p *Proc) Handler() Handler { return p.handler }
 
 // Touch implements mem.Toucher: it is called for every word access.
 func (p *Proc) Touch(pg mem.PageID, write bool) {
