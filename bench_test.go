@@ -29,7 +29,9 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	for i := 0; i < b.N; i++ {
-		reports := e.Run(benchOpts())
+		// A fresh runner each iteration: memoization would otherwise make
+		// every iteration after the first a pure cache hit.
+		reports := bench.RunSequential(e, benchOpts())
 		if len(reports) == 0 {
 			b.Fatal("no reports")
 		}

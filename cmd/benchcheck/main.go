@@ -1,0 +1,75 @@
+// Command benchcheck gates the parallel-sweep speedup recorded in a
+// BENCH_experiments.json trajectory (written by experiments -bench-out).
+// It pairs the most recent sequential (-jobs 1) record with the most
+// recent parallel one for the same (run, scale, seed) and fails when the
+// wall-time speedup falls short of -min-speedup — but only when the
+// recording machine actually had the cores to deliver it, so trajectories
+// recorded on small machines stay honest without failing the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Schema    string  `json:"schema"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	Jobs      int     `json:"jobs"`
+	Cores     int     `json:"cores"`
+	Run       string  `json:"run"`
+	TotalSecs float64 `json:"total_wall_secs"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_experiments.json", "trajectory file to check")
+	min := flag.Float64("min-speedup", 2.0, "required sequential/parallel wall-time ratio")
+	flag.Parse()
+
+	b, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var recs []record
+	if err := json.Unmarshal(b, &recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *file, err)
+		os.Exit(2)
+	}
+
+	var seq, par *record
+	for i := range recs {
+		r := &recs[i]
+		if r.Jobs == 1 {
+			seq = r
+		} else if r.Jobs > 1 {
+			par = r
+		}
+	}
+	if seq == nil || par == nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: need one -jobs 1 and one -jobs >1 record")
+		os.Exit(2)
+	}
+	if seq.Run != par.Run || seq.Scale != par.Scale || seq.Seed != par.Seed {
+		fmt.Fprintf(os.Stderr, "benchcheck: records are not comparable: %+v vs %+v\n", *seq, *par)
+		os.Exit(2)
+	}
+	if par.TotalSecs <= 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: parallel record has no wall time")
+		os.Exit(2)
+	}
+	speedup := seq.TotalSecs / par.TotalSecs
+	fmt.Printf("benchcheck: %s scale=%g: %.1fs sequential -> %.1fs at -jobs %d (%d cores): %.2fx\n",
+		seq.Run, seq.Scale, seq.TotalSecs, par.TotalSecs, par.Jobs, par.Cores, speedup)
+	if par.Cores < 2 || par.Cores < par.Jobs {
+		fmt.Printf("benchcheck: machine had %d cores for %d jobs; speedup gate skipped\n", par.Cores, par.Jobs)
+		return
+	}
+	if speedup < *min {
+		fmt.Fprintf(os.Stderr, "benchcheck: speedup %.2fx below required %.2fx\n", speedup, *min)
+		os.Exit(1)
+	}
+}

@@ -1,23 +1,44 @@
 // Command experiments regenerates the tables and figures of "Garbage
-// Collection Without Paging" (PLDI 2005) on the simulated substrate.
+// Collection Without Paging" (PLDI 2005) on the simulated substrate,
+// sweeping each experiment's configuration matrix on a parallel,
+// cache-aware, resumable job runner.
 //
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale f] [-seed n] [-list] [-counters]
+//	            [-jobs n] [-cache-dir dir] [-resume] [-timeout d]
+//	            [-format text|json] [-bench-out file] [-expect-cached]
 //
-// Experiment ids: table1, fig2, fig3, fig3x, fig4, fig5, fig6, fig7,
-// ablate; "all" runs everything. Scale 1.0 is paper scale (1 GB machine);
-// the default 0.25 preserves the shapes at a fraction of the runtime.
+// Experiment ids: table1, fig2, fig2x, fig3, fig3x, fig4, fig5, fig6,
+// fig7, ablate; "all" runs everything. Scale 1.0 is paper scale (1 GB
+// machine); the default 0.25 preserves the shapes at a fraction of the
+// runtime.
+//
+// -jobs n       run up to n simulations concurrently (default GOMAXPROCS)
+// -cache-dir d  persist per-job results as JSONL under d ('' disables)
+// -resume       serve results cached by a previous (or interrupted) run
+// -timeout d    abandon any single job after d wall time (0 = none)
+// -format json  emit reports as one JSON document instead of text tables
+// -bench-out f  append this invocation's wall-time record to f (JSON)
+// -expect-cached exit 3 unless every job was served from cache
+//
+// Reports go to stdout; progress, timing, and runner telemetry go to
+// stderr. Report bytes are a pure function of (-run, -scale, -seed,
+// -counters, -format): identical for any -jobs value, fresh or resumed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"bookmarkgc/internal/bench"
+	"bookmarkgc/internal/runner"
 )
 
 func main() {
@@ -27,8 +48,26 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		counters = flag.Bool("counters", false, "collect event counters and add them to report notes")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum concurrent simulation jobs")
+		cacheDir = flag.String("cache-dir", ".expcache", "directory for the persistent result store ('' disables)")
+		resume   = flag.Bool("resume", false, "reuse results persisted by a previous run in -cache-dir")
+		timeout  = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
+		format   = flag.String("format", "text", "report output format: text or json")
+		benchOut = flag.String("bench-out", "", "append a wall-time record for this invocation to this JSON file")
+		expect   = flag.Bool("expect-cached", false, "exit 3 unless every job was served from cache (resume smoke test)")
 	)
 	flag.Parse()
+
+	fail := func(fmtStr string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiments: "+fmtStr+"\n", args...)
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "json" {
+		fail("-format %q must be text or json", *format)
+	}
+	if *resume && *cacheDir == "" {
+		fail("-resume needs a persistent store; set -cache-dir")
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -37,7 +76,6 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Scale: *scale, Seed: *seed, Counters: *counters}
 	var selected []bench.Experiment
 	if *run == "all" {
 		selected = bench.Experiments()
@@ -45,20 +83,164 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := bench.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				fail("unknown experiment %q (try -list)", id)
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	fmt.Printf("bookmarking collection experiments (scale %.2f, seed %d)\n\n", *scale, *seed)
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = runner.OpenCache(*cacheDir, *resume)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer cache.Close()
+	}
+	rn := runner.New(runner.Options{
+		Workers:    *jobs,
+		Timeout:    *timeout,
+		Cache:      cache,
+		OnProgress: progressPrinter(),
+	})
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Counters: *counters}
+	if *format == "text" {
+		fmt.Printf("bookmarking collection experiments (scale %.2f, seed %d)\n\n", *scale, *seed)
+	}
+
+	var (
+		records    []expRecord
+		allReports []bench.Report
+		totalStart = time.Now()
+	)
 	for _, e := range selected {
 		start := time.Now()
-		reports := e.Run(opts)
-		for i := range reports {
-			reports[i].Print(os.Stdout)
+		reports := e.Run(opts, rn)
+		wall := time.Since(start)
+		records = append(records, expRecord{ID: e.ID, WallSecs: wall.Seconds()})
+		if *format == "text" {
+			for i := range reports {
+				reports[i].Print(os.Stdout)
+			}
+		} else {
+			allReports = append(allReports, reports...)
 		}
-		fmt.Printf("  [%s completed in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs wall time]\n", e.ID, wall.Seconds())
+	}
+	totalWall := time.Since(totalStart)
+
+	if *format == "json" {
+		doc := struct {
+			Scale   float64        `json:"scale"`
+			Seed    int64          `json:"seed"`
+			Reports []bench.Report `json:"reports"`
+		}{*scale, *seed, allReports}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fail("encoding reports: %v", err)
+		}
+	}
+
+	st := rn.Stats()
+	fmt.Fprintf(os.Stderr,
+		"runner: %d jobs submitted, %d executed, %d cache hits (%d memo, %d store), %d errors, %d timeouts\n",
+		st.Submitted, st.Executed, st.Hits(), st.MemHits, st.DiskHits, st.Errors, st.Timeouts)
+
+	if *benchOut != "" {
+		if err := appendBenchRecord(*benchOut, benchRecord{
+			Schema:      "bench-experiments/v1",
+			UTC:         time.Now().UTC().Format(time.RFC3339),
+			Scale:       *scale,
+			Seed:        *seed,
+			Jobs:        *jobs,
+			Cores:       runtime.NumCPU(),
+			Run:         *run,
+			TotalSecs:   totalWall.Seconds(),
+			Executed:    st.Executed,
+			CacheHits:   st.Hits(),
+			Experiments: records,
+		}); err != nil {
+			fail("writing -bench-out: %v", err)
+		}
+	}
+
+	if *expect && st.Executed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -expect-cached: %d jobs were executed rather than served from cache\n", st.Executed)
+		os.Exit(3)
+	}
+}
+
+// benchRecord is one invocation's wall-time entry in the -bench-out
+// file, which holds a JSON array of them — the repo's machine-readable
+// perf trajectory (sequential vs parallel, over time).
+type benchRecord struct {
+	Schema    string  `json:"schema"`
+	UTC       string  `json:"utc"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	Jobs      int     `json:"jobs"`
+	Cores     int     `json:"cores"`
+	Run       string  `json:"run"`
+	TotalSecs   float64     `json:"total_wall_secs"`
+	Executed    int         `json:"jobs_executed"`
+	CacheHits   int         `json:"cache_hits"`
+	Experiments []expRecord `json:"experiments"`
+}
+
+// expRecord is one experiment's wall time within a benchRecord.
+type expRecord struct {
+	ID       string  `json:"id"`
+	WallSecs float64 `json:"wall_secs"`
+}
+
+// appendBenchRecord reads path (a JSON array, possibly absent), appends
+// rec, and writes it back.
+func appendBenchRecord(path string, rec benchRecord) error {
+	var arr []json.RawMessage
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &arr); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON array: %w", path, err)
+		}
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	arr = append(arr, b)
+	out, err := json.MarshalIndent(arr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// progressPrinter returns a throttled stderr progress callback:
+// done/total with cache hits and an ETA, at most ~5 lines a second,
+// always printing the final state of a batch.
+func progressPrinter() func(runner.Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(p runner.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if p.Done < p.Total && now.Sub(last) < 200*time.Millisecond {
+			return
+		}
+		last = now
+		line := fmt.Sprintf("\rsweep: %d/%d jobs", p.Done, p.Total)
+		if p.Hits > 0 {
+			line += fmt.Sprintf(" (%d cached)", p.Hits)
+		}
+		if p.ETA > 0 {
+			line += fmt.Sprintf(", eta %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprint(os.Stderr, line)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }

@@ -6,12 +6,15 @@
 //
 //	gcsim [-collector BC] [-program pseudojbb] [-heap 77] [-phys 256]
 //	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
-//	      [-chaos regime] [-chaos-seed 1]
+//	      [-runs 1] [-jobs n] [-chaos regime] [-chaos-seed 1]
 //	      [-trace out.json] [-trace-format chrome|jsonl] [-counters]
 //
 // -steal f   pins f*heap immediately (steady pressure, Figure 3)
 // -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
 // -jvms n    runs n instances round-robin on one machine (Figure 7)
+// -runs n    sweeps n consecutive seeds (-seed, -seed+1, ...) on the
+//            parallel runner and prints per-seed summaries + aggregates
+// -jobs n    concurrent simulations for -runs (default GOMAXPROCS)
 // -chaos r   injects kernel faults into the cooperation protocol
 //            (drop, delay, duplicate, reorder, no-notify, reload-storm,
 //            thrash); -chaos-seed drives the injector's PRNG
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +36,7 @@ import (
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
@@ -48,6 +53,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.25, "scale factor applied to all byte quantities")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		jvms      = flag.Int("jvms", 1, "number of simultaneous JVM instances")
+		runs      = flag.Int("runs", 1, "sweep this many consecutive seeds and print aggregates")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum concurrent simulations for -runs")
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
 		chaos     = flag.String("chaos", "", "inject kernel faults: drop, delay, duplicate, reorder, no-notify, reload-storm, thrash")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's PRNG")
@@ -75,6 +82,17 @@ func main() {
 	}
 	if *jvms < 1 {
 		fail("-jvms %d must be at least 1", *jvms)
+	}
+	if *runs < 1 {
+		fail("-runs %d must be at least 1", *runs)
+	}
+	if *runs > 1 {
+		if *bmu || *traceOut != "" || *counters {
+			fail("-runs is a summary sweep; -bmu, -trace and -counters need a single run")
+		}
+		if *jvms > 1 && (*stealFrac > 0 || *availMB > 0) {
+			fail("pressure schedules are single-JVM; drop -jvms or the pressure flag")
+		}
 	}
 	if *scale <= 0 {
 		fail("-scale %v must be positive", *scale)
@@ -107,6 +125,17 @@ func main() {
 	if phys < vmm.MinPhysBytes {
 		fail("-phys %v at -scale %v is a %d-byte machine; the smallest simulable machine is %d bytes",
 			*physMB, *scale, phys, vmm.MinPhysBytes)
+	}
+
+	if *runs > 1 {
+		seedSweep(sweepConfig{
+			collector: sim.CollectorKind(*collector),
+			prog:      prog, heap: heap, phys: phys,
+			stealFrac: *stealFrac, availMB: *availMB, scale: *scale,
+			seed: *seed, runs: *runs, jobs: *jobs, jvms: *jvms,
+			chaos: chaosCfg,
+		})
+		return
 	}
 
 	var pressure *sim.Pressure
@@ -230,6 +259,168 @@ func finish(rec *trace.Recorder, reg *trace.Counters, path, format string, show 
 		fmt.Println("counters:")
 		reg.WriteText(os.Stdout)
 	}
+}
+
+// sweepConfig parameterizes a -runs multi-seed sweep.
+type sweepConfig struct {
+	collector  sim.CollectorKind
+	prog       mutator.Spec
+	heap, phys uint64
+	stealFrac  float64
+	availMB    float64
+	scale      float64
+	seed       int64
+	runs       int
+	jobs       int
+	jvms       int
+	chaos      *fault.Config
+}
+
+// seedSweep runs the configured simulation at runs consecutive seeds on
+// the parallel runner, printing one summary line per seed (per JVM for
+// multi-JVM machines) and aggregate statistics over the successful runs.
+// Dynamic pressure is recalibrated per seed: each seed's unpressured
+// baseline run is itself a job in the first batch.
+func seedSweep(c sweepConfig) {
+	rn := runner.New(runner.Options{Workers: c.jobs})
+	seeds := make([]int64, c.runs)
+	for i := range seeds {
+		seeds[i] = c.seed + int64(i)
+	}
+
+	baseJob := func(seed int64) runner.Job {
+		return runner.Job{
+			Collector: c.collector, Program: c.prog,
+			HeapBytes: c.heap, PhysBytes: c.phys, Seed: seed,
+		}
+	}
+	mainJob := func(seed int64) runner.Job {
+		j := runner.Job{
+			Collector: c.collector, Program: c.prog,
+			HeapBytes: c.heap, PhysBytes: c.phys, Seed: seed,
+			Chaos: c.chaos,
+		}
+		if c.jvms > 1 {
+			j.JVMs = c.jvms
+			return j
+		}
+		switch {
+		case c.stealFrac > 0:
+			j.Pressure = sim.SteadyPressure(c.heap, c.stealFrac)
+		case c.availMB > 0:
+			base := rn.Result(baseJob(seed))
+			if !base.OK() {
+				return j // the main run will fail the same way; report there
+			}
+			avail := mem.RoundUpPage(uint64(c.availMB * c.scale * (1 << 20)))
+			initial := mem.RoundUpPage(uint64(30 * c.scale * (1 << 20)))
+			grow := mem.RoundUpPage(uint64(c.scale * (1 << 20)))
+			j.Pressure = sim.CalibratedDynamicPressure(c.phys, avail, initial, grow,
+				time.Duration(base.One().ElapsedSecs*float64(time.Second)))
+		}
+		return j
+	}
+
+	if c.availMB > 0 && c.jvms == 1 {
+		base := make([]runner.Job, len(seeds))
+		for i, s := range seeds {
+			base[i] = baseJob(s)
+		}
+		rn.RunAll(base)
+	}
+	jobs := make([]runner.Job, len(seeds))
+	for i, s := range seeds {
+		jobs[i] = mainJob(s)
+	}
+	rn.RunAll(jobs)
+
+	var execs, pauses []float64
+	failed := 0
+	for i, s := range seeds {
+		res := rn.Result(jobs[i])
+		if res.Err != "" {
+			fmt.Printf("seed %d: FAILED: %s\n", s, res.Err)
+			failed++
+			continue
+		}
+		okRun := true
+		for jvm, rd := range res.Runs {
+			prefix := fmt.Sprintf("seed %d", s)
+			if c.jvms > 1 {
+				prefix = fmt.Sprintf("seed %d jvm%d", s, jvm)
+			}
+			if !rd.OK() {
+				fmt.Printf("%s: FAILED: %s\n", prefix, rd.Err)
+				okRun = false
+				continue
+			}
+			fmt.Printf("%s: %s\n", prefix, runDataSummary(c.collector, c.prog, rd))
+		}
+		if !okRun {
+			failed++
+			continue
+		}
+		var end float64
+		var pauseSum time.Duration
+		var pauseN int
+		for _, rd := range res.Runs {
+			if rd.ElapsedSecs > end {
+				end = rd.ElapsedSecs
+			}
+			tl := rd.Timeline()
+			for _, p := range tl.Pauses {
+				pauseSum += p.Dur
+			}
+			pauseN += len(tl.Pauses)
+		}
+		execs = append(execs, end)
+		if pauseN > 0 {
+			pauses = append(pauses, float64(pauseSum)/float64(pauseN))
+		}
+	}
+
+	if len(execs) > 0 {
+		mean, min, max := stats(execs)
+		fmt.Printf("aggregate over %d/%d seeds: exec mean=%.3fs min=%.3fs max=%.3fs",
+			len(execs), len(seeds), mean, min, max)
+		if len(pauses) > 0 {
+			pm, _, _ := stats(pauses)
+			fmt.Printf(" avgPause mean=%v", round(time.Duration(pm)))
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "gcsim: %d of %d seeds failed\n", failed, len(seeds))
+		os.Exit(1)
+	}
+}
+
+// stats returns the mean, minimum and maximum of xs (len > 0).
+func stats(xs []float64) (mean, min, max float64) {
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return mean / float64(len(xs)), min, max
+}
+
+// runDataSummary mirrors summary for a runner.RunData, whose timeline is
+// reconstructed from the serialized pause list.
+func runDataSummary(col sim.CollectorKind, prog mutator.Spec, rd runner.RunData) string {
+	tl := rd.Timeline()
+	return fmt.Sprintf(
+		"%s/%s: exec=%.3fs alloc=%dB gcs=%d (nursery=%d full=%d compact=%d failsafe=%d) avgPause=%v maxPause=%v majflt=%d bookmarked=%d evictedPages=%d",
+		col, prog.Name,
+		rd.ElapsedSecs, rd.AllocatedBytes,
+		tl.Count(), rd.Nursery, rd.Full, rd.Compactions, rd.FailSafe,
+		round(tl.AvgPause()), round(tl.MaxPause()),
+		rd.Proc.MajorFaults, rd.Bookmarked, rd.PagesEvicted)
 }
 
 func summary(r sim.Result) string {

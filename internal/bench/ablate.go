@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -17,39 +18,50 @@ import (
 //   - GenMS with an Alonso–Appel heap-sizing advisor (related work, §6):
 //     resizing without cooperation, which the paper argues cannot
 //     eliminate paging.
-func Ablations(o Options) []Report {
+func Ablations(o Options, rn *runner.Runner) []Report {
+	const availFrac = 0.70
 	kinds := []sim.CollectorKind{
 		sim.BC, sim.BCResizeOnly, sim.BCNoAggressive, sim.BCPointerFree, sim.BCRegrow,
 		sim.GenMS, sim.GenMSAdvisor,
 	}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	rn.RunAll([]runner.Job{baselineJob(o, prog, heap)})
+	base := fig45Baseline(o, rn, prog, heap)
+
+	var jobs []runner.Job
+	for _, k := range kinds {
+		jobs = append(jobs, dynamicJob(o, k, prog, heap, uint64(availFrac*float64(heap)), base))
+	}
+	rn.RunAll(jobs)
+
 	r := Report{
 		ID:     "ablate",
 		Title:  "BC variants under dynamic pressure (available = 70% of heap)",
 		Header: []string{"variant", "exec time", "mean pause", "GC major faults", "pages bookmarked", "notifications"},
 	}
-	prog := mutator.PseudoJBB().Scale(o.Scale)
-	heap := o.bytes(fig45HeapMB * (1 << 20))
-	base := fig45Baseline(o, prog, heap)
 	for _, k := range kinds {
-		res, ok := dynamicRun(o, k, prog, heap, uint64(0.70*float64(heap)), base)
-		if !ok {
+		res := rn.Result(dynamicJob(o, k, prog, heap, uint64(availFrac*float64(heap)), base))
+		if !res.OK() {
 			r.Rows = append(r.Rows, []string{string(k), "-", "-", "-", "-", "-"})
 			continue
 		}
+		run := res.One()
+		tl := run.Timeline()
 		var gcFaults uint64
-		for _, p := range res.Timeline.Pauses {
+		for _, p := range tl.Pauses {
 			gcFaults += p.MajorFaults
 		}
 		r.Rows = append(r.Rows, []string{
 			string(k),
-			secs(res.ElapsedSecs),
-			ms(res.Timeline.AvgPause()),
+			secs(run.ElapsedSecs),
+			ms(tl.AvgPause()),
 			fmt.Sprintf("%d", gcFaults),
-			fmt.Sprintf("%d", res.GCStats.PagesEvicted),
-			fmt.Sprintf("%d", res.ProcStats.ProtFaults+res.ProcStats.MajorFaults),
+			fmt.Sprintf("%d", run.PagesEvicted),
+			fmt.Sprintf("%d", run.Proc.ProtFaults+run.Proc.MajorFaults),
 		})
 		if o.Counters {
-			r.Notes = append(r.Notes, counterNote(string(k), res))
+			r.Notes = append(r.Notes, counterNote(string(k), res.Counters))
 		}
 	}
 	return []Report{r}

@@ -1,7 +1,11 @@
 // Package bench regenerates every table and figure of the paper's
-// evaluation (§5). Each experiment is a function from Options to one or
-// more Reports — the same rows or series the paper plots, produced by
-// running the simulated machine, collectors, and benchmark programs.
+// evaluation (§5). Each experiment is two passes over the same
+// configuration loops: an emission pass that enumerates every simulation
+// the experiment might need as runner.Jobs, and a reduce pass that folds
+// the (memoized, content-hash-keyed) results into the paper's rows.
+// The runner executes the emitted jobs on a worker pool; because results
+// are looked up by hash during the reduce, report bytes are identical
+// whether the sweep ran on one worker or many, fresh or from cache.
 //
 // Workloads, heap sizes, and memory sizes all scale together through
 // Options.Scale, so the experiments keep their shape at a fraction of the
@@ -18,8 +22,7 @@ import (
 	"time"
 
 	"bookmarkgc/internal/mem"
-	"bookmarkgc/internal/sim"
-	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/runner"
 )
 
 // Options configures an experiment run.
@@ -45,11 +48,11 @@ func (o Options) bytes(paperBytes float64) uint64 {
 
 // Report is one table or figure's data, printable as aligned text.
 type Report struct {
-	ID     string // "table1", "fig2", ...
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string `json:"id"` // "table1", "fig2", ...
+	Title  string `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Print writes the report as an aligned table.
@@ -88,10 +91,13 @@ func (r *Report) Print(w io.Writer) {
 }
 
 // Experiment is a named, runnable reproduction of one table or figure.
+// Run emits the experiment's jobs to the runner and reduces the results;
+// it owns no execution policy (parallelism, caching, timeouts all live
+// in the runner it is handed).
 type Experiment struct {
 	ID   string
 	Desc string
-	Run  func(Options) []Report
+	Run  func(Options, *runner.Runner) []Report
 }
 
 // Experiments lists every reproduction, in paper order.
@@ -120,32 +126,27 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// runOK executes a configuration, converting a failed run (out of
-// memory, bad collector) into ok=false (used by the min-heap search).
-// When o.Counters is set, each run gets its own registry, readable from
-// Result.Counters.
-func runOK(o Options, cfg sim.RunConfig) (res sim.Result, ok bool) {
-	if o.Counters {
-		cfg.Counters = trace.NewCounters()
-	}
-	res = sim.Run(cfg)
-	return res, res.Err == nil
+// RunSequential executes e on a private single-worker runner — the
+// convenient form for tests and one-off calls.
+func RunSequential(e Experiment, o Options) []Report {
+	return e.Run(o, runner.New(runner.Options{Workers: 1}))
 }
 
 // counterNote renders one run's cooperation counters as a report note.
-func counterNote(label string, res sim.Result) string {
-	c := res.Counters
+// c is the runner result's by-name counter map; nil (counters were not
+// collected) yields the empty string.
+func counterNote(label string, c map[string]uint64) string {
 	if c == nil {
 		return ""
 	}
 	return fmt.Sprintf(
 		"%s: bookmarked=%d evicted=%d discarded=%d reloaded=%d incoming(+%d/-%d) remset(filtered=%d carded=%d) forwarded=%dB",
 		label,
-		c.Get(trace.CObjectsBookmarked), c.Get(trace.CPagesProcessed),
-		c.Get(trace.CPagesDiscarded), c.Get(trace.CPagesReloaded),
-		c.Get(trace.CIncomingBumps), c.Get(trace.CIncomingDecrements),
-		c.Get(trace.CRemsetEntriesFiltered), c.Get(trace.CRemsetEntriesCarded),
-		c.Get(trace.CForwardedBytes))
+		c["objects_bookmarked"], c["pages_processed"],
+		c["pages_discarded"], c["pages_reloaded"],
+		c["incoming_bumps"], c["incoming_decrements"],
+		c["remset_entries_filtered"], c["remset_entries_carded"],
+		c["forwarded_bytes"])
 }
 
 // secs formats a simulated duration.

@@ -5,12 +5,17 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"bookmarkgc/internal/runner"
 )
 
 func fmtSscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
 
 // tiny options keep each experiment to a few seconds.
 func tiny() Options { return Options{Scale: 0.02, Seed: 1} }
+
+// testRunner executes jobs on every available core.
+func testRunner() *runner.Runner { return runner.New(runner.Options{}) }
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := map[string]bool{}
@@ -79,12 +84,12 @@ func checkReports(t *testing.T, rs []Report, wantRows int) {
 }
 
 func TestFig4Tiny(t *testing.T) {
-	rs := Fig4(tiny())
+	rs := Fig4(tiny(), testRunner())
 	checkReports(t, rs, 5)
 }
 
 func TestFig7Tiny(t *testing.T) {
-	rs := Fig7(tiny())
+	rs := Fig7(tiny(), testRunner())
 	checkReports(t, rs, 5)
 	if rs[0].ID != "fig7a" || rs[1].ID != "fig7b" {
 		t.Fatal("fig7 report ids wrong")
@@ -92,12 +97,12 @@ func TestFig7Tiny(t *testing.T) {
 }
 
 func TestAblationsTiny(t *testing.T) {
-	rs := Ablations(tiny())
+	rs := Ablations(tiny(), testRunner())
 	checkReports(t, rs, 5)
 }
 
 func TestFig6Tiny(t *testing.T) {
-	rs := Fig6(tiny())
+	rs := Fig6(tiny(), testRunner())
 	checkReports(t, rs, 7)
 	// BMU cells must be parseable fractions in [0,1] or "-".
 	for _, r := range rs {

@@ -6,6 +6,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -18,13 +19,39 @@ var fig2Collectors = []sim.CollectorKind{
 	sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.MarkSweep, sim.SemiSpace,
 }
 
+// fig2Job is one collector on one benchmark at relative heap factor f,
+// with ample physical memory (no pressure). Shared with Fig2Detail so
+// the 2.0x column is computed once.
+func fig2Job(o Options, k sim.CollectorKind, scaled mutator.Spec, f float64) runner.Job {
+	heap := mem.RoundUpPage(uint64(f * float64(scaled.MinHeap)))
+	return runner.Job{
+		Collector: k,
+		Program:   scaled,
+		HeapBytes: heap,
+		PhysBytes: heap*4 + (64 << 20),
+		Seed:      o.Seed,
+		Counters:  o.Counters,
+	}
+}
+
 // Fig2 reproduces Figure 2: geometric mean of execution time relative to
 // BC across all benchmarks, without memory pressure, as a function of
 // relative heap size. The paper's shape: BC and GenMS effectively tied at
 // large heaps (BC ~0.3% faster), BC ahead at small heaps thanks to
 // compaction, GenCopy ~7% behind, MarkSweep ~20% and CopyMS ~29% behind
 // at the largest heap.
-func Fig2(o Options) []Report {
+func Fig2(o Options, rn *runner.Runner) []Report {
+	var jobs []runner.Job
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		for _, f := range fig2Factors {
+			for _, k := range fig2Collectors {
+				jobs = append(jobs, fig2Job(o, k, scaled, f))
+			}
+		}
+	}
+	rn.RunAll(jobs)
+
 	r := Report{
 		ID:     "fig2",
 		Title:  "geometric mean execution time relative to BC (no memory pressure)",
@@ -45,13 +72,8 @@ func Fig2(o Options) []Report {
 	for _, prog := range mutator.Programs {
 		scaled := prog.Scale(o.Scale)
 		for _, f := range fig2Factors {
-			heap := mem.RoundUpPage(uint64(f * float64(scaled.MinHeap)))
-			phys := heap*4 + (64 << 20) // ample: no pressure
-			bc, ok := runOK(o, sim.RunConfig{
-				Collector: sim.BC, Program: scaled,
-				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
-			})
-			if !ok {
+			bc := rn.Result(fig2Job(o, sim.BC, scaled, f))
+			if !bc.OK() {
 				continue
 			}
 			for _, k := range fig2Collectors {
@@ -59,14 +81,12 @@ func Fig2(o Options) []Report {
 					table[k][f].rel = append(table[k][f].rel, 1)
 					continue
 				}
-				res, ok := runOK(o, sim.RunConfig{
-					Collector: k, Program: scaled,
-					HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
-				})
-				if !ok {
+				res := rn.Result(fig2Job(o, k, scaled, f))
+				if !res.OK() {
 					continue
 				}
-				table[k][f].rel = append(table[k][f].rel, res.ElapsedSecs/bc.ElapsedSecs)
+				table[k][f].rel = append(table[k][f].rel,
+					res.One().ElapsedSecs/bc.One().ElapsedSecs)
 			}
 		}
 	}

@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
-	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -12,8 +12,18 @@ import (
 // execution time relative to BC at a fixed 2x relative heap, without
 // memory pressure. The paper aggregates; this view shows where each
 // baseline's costs come from (useful when tuning the workload models).
-func Fig2Detail(o Options) []Report {
+// Its jobs are Fig2's 2.0x column, so running both costs one sweep.
+func Fig2Detail(o Options, rn *runner.Runner) []Report {
 	const factor = 2.0
+	var jobs []runner.Job
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		for _, k := range fig2Collectors {
+			jobs = append(jobs, fig2Job(o, k, scaled, factor))
+		}
+	}
+	rn.RunAll(jobs)
+
 	r := Report{
 		ID:    "fig2x",
 		Title: fmt.Sprintf("per-benchmark execution time relative to BC at %.1fx min heap, no pressure", factor),
@@ -25,25 +35,20 @@ func Fig2Detail(o Options) []Report {
 	}
 	for _, prog := range mutator.Programs {
 		scaled := prog.Scale(o.Scale)
-		heap := mem.RoundUpPage(uint64(factor * float64(scaled.MinHeap)))
-		phys := heap*4 + (64 << 20)
 		row := []string{prog.Name}
 		var bcTime float64
 		for _, k := range fig2Collectors {
-			res, ok := runOK(o, sim.RunConfig{
-				Collector: k, Program: scaled,
-				HeapBytes: heap, PhysBytes: phys, Seed: o.Seed,
-			})
-			if !ok {
+			res := rn.Result(fig2Job(o, k, scaled, factor))
+			if !res.OK() {
 				row = append(row, "-")
 				continue
 			}
 			if k == sim.BC {
-				bcTime = res.ElapsedSecs
+				bcTime = res.One().ElapsedSecs
 				row = append(row, "1.000")
 				continue
 			}
-			row = append(row, fmt.Sprintf("%.3f", res.ElapsedSecs/bcTime))
+			row = append(row, fmt.Sprintf("%.3f", res.One().ElapsedSecs/bcTime))
 		}
 		r.Rows = append(r.Rows, row)
 	}

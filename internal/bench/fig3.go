@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -16,6 +17,26 @@ var fig3Collectors = []sim.CollectorKind{
 	sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace,
 }
 
+// fig3Job is one collector on pseudoJBB under steady pressure: physical
+// memory comfortably holds the heap; signalmem then pins all but
+// availFrac of the heap (plus a small slack for the rest of the
+// process).
+func fig3Job(o Options, k sim.CollectorKind, prog mutator.Spec, heapMB int, availFrac float64) runner.Job {
+	heap := o.bytes(float64(heapMB) * (1 << 20))
+	slack := o.bytes(6 << 20)
+	avail := uint64(availFrac*float64(heap)) + slack
+	phys := heap * 2
+	return runner.Job{
+		Collector: k,
+		Program:   prog,
+		HeapBytes: heap,
+		PhysBytes: phys,
+		Seed:      o.Seed,
+		Counters:  o.Counters,
+		Pressure:  &sim.Pressure{InitialBytes: phys - avail},
+	}
+}
+
 // Fig3 reproduces Figure 3: steady memory pressure on pseudoJBB, where
 // available memory holds only 40% of the heap (signalmem removes 60% of
 // the heap size at the start of the measured iteration). Two reports:
@@ -23,14 +44,23 @@ var fig3Collectors = []sim.CollectorKind{
 // Paper shape: BC 7–8x faster than GenMS at the largest heaps and less
 // than half the time of CopyMS at 130 MB; GenMS's mean pause ~3 s (~30x
 // BC's) at 130 MB.
-func Fig3(o Options) []Report { return fig3At(o, "fig3", 0.40) }
+func Fig3(o Options, rn *runner.Runner) []Report { return fig3At(o, rn, "fig3", 0.40) }
 
 // Fig3x is the §5.3.1 stress variant: available memory holds only 30% of
 // the heap (70% removed). Paper: CopyMS takes over an hour; BC's time is
 // largely unchanged.
-func Fig3x(o Options) []Report { return fig3At(o, "fig3x", 0.30) }
+func Fig3x(o Options, rn *runner.Runner) []Report { return fig3At(o, rn, "fig3x", 0.30) }
 
-func fig3At(o Options, id string, availFrac float64) []Report {
+func fig3At(o Options, rn *runner.Runner, id string, availFrac float64) []Report {
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	var jobs []runner.Job
+	for _, k := range fig3Collectors {
+		for _, heapMB := range fig3Heaps {
+			jobs = append(jobs, fig3Job(o, k, prog, heapMB, availFrac))
+		}
+	}
+	rn.RunAll(jobs)
+
 	exec := Report{
 		ID:     id + "a",
 		Title:  fmt.Sprintf("steady pressure (available = %.0f%% of heap): execution time, pseudoJBB", availFrac*100),
@@ -41,36 +71,23 @@ func fig3At(o Options, id string, availFrac float64) []Report {
 		Title:  fmt.Sprintf("steady pressure (available = %.0f%% of heap): mean GC pause, pseudoJBB", availFrac*100),
 		Header: append([]string{"collector"}, heapLabels(fig3Heaps)...),
 	}
-	prog := mutator.PseudoJBB().Scale(o.Scale)
 	for _, k := range fig3Collectors {
 		execRow := []string{string(k)}
 		pauseRow := []string{string(k)}
 		for _, heapMB := range fig3Heaps {
-			heap := o.bytes(float64(heapMB) * (1 << 20))
-			// Physical memory comfortably holds the heap; signalmem then
-			// pins all but availFrac of the heap (plus a small slack for
-			// the rest of the process).
-			slack := o.bytes(6 << 20)
-			avail := uint64(availFrac*float64(heap)) + slack
-			phys := heap * 2
-			res, ok := runOK(o, sim.RunConfig{
-				Collector: k,
-				Program:   prog,
-				HeapBytes: heap,
-				PhysBytes: phys,
-				Seed:      o.Seed,
-				Pressure:  &sim.Pressure{InitialBytes: phys - avail},
-			})
-			if !ok {
+			res := rn.Result(fig3Job(o, k, prog, heapMB, availFrac))
+			if !res.OK() {
 				execRow = append(execRow, "-")
 				pauseRow = append(pauseRow, "-")
 				continue
 			}
-			execRow = append(execRow, secs(res.ElapsedSecs))
-			pauseRow = append(pauseRow, ms(res.Timeline.AvgPause()))
+			run := res.One()
+			tl := run.Timeline()
+			execRow = append(execRow, secs(run.ElapsedSecs))
+			pauseRow = append(pauseRow, ms(tl.AvgPause()))
 			if o.Counters && heapMB == fig3Heaps[len(fig3Heaps)-1] {
 				exec.Notes = append(exec.Notes,
-					counterNote(fmt.Sprintf("%s@%dMB", k, heapMB), res))
+					counterNote(fmt.Sprintf("%s@%dMB", k, heapMB), res.Counters))
 			}
 		}
 		exec.Rows = append(exec.Rows, execRow)

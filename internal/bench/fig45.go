@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -17,31 +18,42 @@ const fig45HeapMB = 77.0
 // falls below the process footprint, i.e. fractions near and below 1).
 var fig45Avail = []float64{1.6, 1.4, 1.2, 1.0, 0.85, 0.70, 0.55}
 
-// dynamicRun executes one collector under the §5.3.2 dynamic-pressure
+// baselineJob is an unpressured BC run used to calibrate the signalmem
+// ramp (and as the BMU window anchor in Figure 6).
+func baselineJob(o Options, prog mutator.Spec, heap uint64) runner.Job {
+	return runner.Job{
+		Collector: sim.BC,
+		Program:   prog,
+		HeapBytes: heap,
+		PhysBytes: heap * 4,
+		Seed:      o.Seed,
+	}
+}
+
+// fig45Baseline reads the calibration run's duration (executing it if
+// no batch has).
+func fig45Baseline(o Options, rn *runner.Runner, prog mutator.Spec, heap uint64) time.Duration {
+	res := rn.Result(baselineJob(o, prog, heap))
+	return time.Duration(res.One().ElapsedSecs * float64(time.Second))
+}
+
+// dynamicJob is one collector under the §5.3.2 dynamic-pressure
 // schedule: signalmem grabs an initial chunk, then pins more at a steady
 // rate until only avail bytes of the machine remain. The pin rate is
 // scaled so the ramp completes within roughly the first third of an
 // unpressured run, as in the paper's measured iterations.
-func dynamicRun(o Options, k sim.CollectorKind, prog mutator.Spec, heap, avail uint64, baseline time.Duration) (sim.Result, bool) {
+func dynamicJob(o Options, k sim.CollectorKind, prog mutator.Spec, heap, avail uint64, baseline time.Duration) runner.Job {
 	phys := heap * 2
-	return runOK(o, sim.RunConfig{
+	return runner.Job{
 		Collector: k,
 		Program:   prog,
 		HeapBytes: heap,
 		PhysBytes: phys,
 		Seed:      o.Seed,
+		Counters:  o.Counters,
 		Pressure: sim.CalibratedDynamicPressure(
 			phys, avail, o.bytes(30<<20), o.bytes(1<<20), baseline),
-	})
-}
-
-// fig45Baseline measures an unpressured BC run to calibrate the ramp.
-func fig45Baseline(o Options, prog mutator.Spec, heap uint64) time.Duration {
-	res := sim.Run(sim.RunConfig{
-		Collector: sim.BC, Program: prog,
-		HeapBytes: heap, PhysBytes: heap * 4, Seed: o.Seed,
-	})
-	return time.Duration(res.ElapsedSecs * float64(time.Second))
+	}
 }
 
 // Fig4 reproduces Figure 4: mean GC pause time for pseudoJBB as dynamic
@@ -49,25 +61,36 @@ func fig45Baseline(o Options, prog mutator.Spec, heap uint64) time.Duration {
 // Paper shape: BC's mean pause stays flat while the others' grow to
 // seconds — GenMS's mean pause under the most pressure is ~10 s longer
 // than its whole unpressured run.
-func Fig4(o Options) []Report {
+func Fig4(o Options, rn *runner.Runner) []Report {
 	kinds := []sim.CollectorKind{sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+	rn.RunAll([]runner.Job{baselineJob(o, prog, heap)})
+	base := fig45Baseline(o, rn, prog, heap)
+
+	var jobs []runner.Job
+	for _, k := range kinds {
+		for _, frac := range fig45Avail {
+			jobs = append(jobs, dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+		}
+	}
+	rn.RunAll(jobs)
+
 	r := Report{
 		ID:     "fig4",
 		Title:  "dynamic pressure: mean GC pause, pseudoJBB (available memory shrinks left to right)",
 		Header: append([]string{"collector"}, availLabels(o)...),
 	}
-	prog := mutator.PseudoJBB().Scale(o.Scale)
-	heap := o.bytes(fig45HeapMB * (1 << 20))
-	base := fig45Baseline(o, prog, heap)
 	for _, k := range kinds {
 		row := []string{string(k)}
 		for _, frac := range fig45Avail {
-			res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
-			if !ok {
+			res := rn.Result(dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+			if !res.OK() {
 				row = append(row, "-")
 				continue
 			}
-			row = append(row, ms(res.Timeline.AvgPause()))
+			tl := res.One().Timeline()
+			row = append(row, ms(tl.AvgPause()))
 		}
 		r.Rows = append(r.Rows, row)
 	}
@@ -80,10 +103,21 @@ func Fig4(o Options) []Report {
 // and up to 10x faster than resize-only; (b) fixed-size (4 MB) nursery
 // variants, which reduce paging but still collapse once their footprint
 // exceeds available memory.
-func Fig5(o Options) []Report {
+func Fig5(o Options, rn *runner.Runner) []Report {
+	kindsA := []sim.CollectorKind{sim.BC, sim.BCResizeOnly, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace}
+	kindsB := []sim.CollectorKind{sim.BC, sim.GenMSFixed, sim.GenCopyFixed}
 	prog := mutator.PseudoJBB().Scale(o.Scale)
 	heap := o.bytes(fig45HeapMB * (1 << 20))
-	base := fig45Baseline(o, prog, heap)
+	rn.RunAll([]runner.Job{baselineJob(o, prog, heap)})
+	base := fig45Baseline(o, rn, prog, heap)
+
+	var jobs []runner.Job
+	for _, k := range append(append([]sim.CollectorKind{}, kindsA...), kindsB...) {
+		for _, frac := range fig45Avail {
+			jobs = append(jobs, dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+		}
+	}
+	rn.RunAll(jobs)
 
 	mk := func(id, title string, kinds []sim.CollectorKind) Report {
 		r := Report{
@@ -94,21 +128,19 @@ func Fig5(o Options) []Report {
 		for _, k := range kinds {
 			row := []string{string(k)}
 			for _, frac := range fig45Avail {
-				res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
-				if !ok {
+				res := rn.Result(dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+				if !res.OK() {
 					row = append(row, "-")
 					continue
 				}
-				row = append(row, secs(res.ElapsedSecs))
+				row = append(row, secs(res.One().ElapsedSecs))
 			}
 			r.Rows = append(r.Rows, row)
 		}
 		return r
 	}
-	a := mk("fig5a", "dynamic pressure: execution time, pseudoJBB",
-		[]sim.CollectorKind{sim.BC, sim.BCResizeOnly, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace})
-	b := mk("fig5b", "dynamic pressure: execution time, fixed-size (4MB) nurseries",
-		[]sim.CollectorKind{sim.BC, sim.GenMSFixed, sim.GenCopyFixed})
+	a := mk("fig5a", "dynamic pressure: execution time, pseudoJBB", kindsA)
+	b := mk("fig5b", "dynamic pressure: execution time, fixed-size (4MB) nurseries", kindsB)
 	return []Report{a, b}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
 
@@ -22,13 +23,23 @@ var fig6Windows = []float64{0.3, 1, 3, 10, 30, 100, 300}
 // BC achieves high utilization (~0.9 at a 10-second window) while every
 // other collector is near zero there, and MarkSweep needs ~10-minute
 // windows for 0.25 utilization.
-func Fig6(o Options) []Report {
+func Fig6(o Options, rn *runner.Runner) []Report {
 	kinds := []sim.CollectorKind{
 		sim.BC, sim.BCResizeOnly, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace, sim.MarkSweep,
 	}
+	fracs := []float64{1.30, 0.90}
 	prog := mutator.PseudoJBB().Scale(o.Scale)
 	heap := o.bytes(fig45HeapMB * (1 << 20))
-	base := fig45Baseline(o, prog, heap)
+	rn.RunAll([]runner.Job{baselineJob(o, prog, heap)})
+	base := fig45Baseline(o, rn, prog, heap)
+
+	var jobs []runner.Job
+	for _, frac := range fracs {
+		for _, k := range kinds {
+			jobs = append(jobs, dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+		}
+	}
+	rn.RunAll(jobs)
 
 	mk := func(id string, frac float64, label string) Report {
 		r := Report{
@@ -39,25 +50,26 @@ func Fig6(o Options) []Report {
 		}
 		for _, k := range kinds {
 			row := []string{string(k)}
-			res, ok := dynamicRun(o, k, prog, heap, uint64(frac*float64(heap)), base)
-			if !ok {
+			res := rn.Result(dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+			if !res.OK() {
 				for range fig6Windows {
 					row = append(row, "-")
 				}
 				r.Rows = append(r.Rows, row)
 				continue
 			}
+			tl := res.One().Timeline()
 			for _, wf := range fig6Windows {
 				w := time.Duration(wf * float64(base))
-				row = append(row, fmt.Sprintf("%.3f", res.Timeline.BMU(w)))
+				row = append(row, fmt.Sprintf("%.3f", tl.BMU(w)))
 			}
 			r.Rows = append(r.Rows, row)
 		}
 		return r
 	}
 	return []Report{
-		mk("fig6a", 1.30, "moderate"),
-		mk("fig6b", 0.90, "severe"),
+		mk("fig6a", fracs[0], "moderate"),
+		mk("fig6b", fracs[1], "severe"),
 	}
 }
 
@@ -73,13 +85,38 @@ func windowLabels() []string {
 // combined heaps.
 var fig7Avail = []float64{1.3, 1.1, 0.9, 0.7, 0.55}
 
+// fig7Job is two JVM instances sharing one machine whose memory is frac
+// of their combined heaps.
+func fig7Job(o Options, k sim.CollectorKind, prog mutator.Spec, heap uint64, frac float64) runner.Job {
+	return runner.Job{
+		Collector: k,
+		Program:   prog,
+		HeapBytes: heap,
+		PhysBytes: uint64(frac * float64(2*heap)),
+		JVMs:      2,
+		Seed:      o.Seed,
+	}
+}
+
 // Fig7 reproduces Figure 7: two JVM instances running pseudoJBB
 // simultaneously with 77 MB heaps, sweeping available memory. (a) total
 // elapsed time — misleading for the VM-oblivious collectors, whose runs
 // paging effectively serializes — and (b) mean GC pause, where BC's
 // ~380 ms at the lowest memory is ~7.5x below CopyMS, the next best.
-func Fig7(o Options) []Report {
+// A partial machine (any instance failed) is a missing point.
+func Fig7(o Options, rn *runner.Runner) []Report {
 	kinds := []sim.CollectorKind{sim.BC, sim.GenMS, sim.GenCopy, sim.CopyMS, sim.SemiSpace}
+	prog := mutator.PseudoJBB().Scale(o.Scale)
+	heap := o.bytes(fig45HeapMB * (1 << 20))
+
+	var jobs []runner.Job
+	for _, k := range kinds {
+		for _, frac := range fig7Avail {
+			jobs = append(jobs, fig7Job(o, k, prog, heap, frac))
+		}
+	}
+	rn.RunAll(jobs)
+
 	exec := Report{
 		ID:     "fig7a",
 		Title:  "two JVMs: total elapsed time, pseudoJBB x2, 77MB heaps",
@@ -90,33 +127,23 @@ func Fig7(o Options) []Report {
 		Title:  "two JVMs: mean GC pause across both instances",
 		Header: append([]string{"collector"}, fig7Labels()...),
 	}
-	prog := mutator.PseudoJBB().Scale(o.Scale)
-	heap := o.bytes(fig45HeapMB * (1 << 20))
 	for _, k := range kinds {
 		execRow := []string{string(k)}
 		pauseRow := []string{string(k)}
 		for _, frac := range fig7Avail {
-			phys := uint64(frac * float64(2*heap))
-			rs, ok := runMultiOK(sim.MultiConfig{
-				Collector: k,
-				Program:   prog,
-				HeapBytes: heap,
-				PhysBytes: phys,
-				JVMs:      2,
-				Seed:      o.Seed,
-			})
-			if !ok {
+			res := rn.Result(fig7Job(o, k, prog, heap, frac))
+			if !res.OK() {
 				execRow = append(execRow, "-")
 				pauseRow = append(pauseRow, "-")
 				continue
 			}
 			var end float64
 			var pauses []metrics.Pause
-			for _, r := range rs {
-				if r.ElapsedSecs > end {
-					end = r.ElapsedSecs
+			for _, rd := range res.Runs {
+				if rd.ElapsedSecs > end {
+					end = rd.ElapsedSecs
 				}
-				pauses = append(pauses, r.Timeline.Pauses...)
+				pauses = append(pauses, rd.Timeline().Pauses...)
 			}
 			var sum time.Duration
 			for _, p := range pauses {
@@ -141,16 +168,4 @@ func fig7Labels() []string {
 		out[i] = fmt.Sprintf("%.0fMB", f*2*fig45HeapMB)
 	}
 	return out
-}
-
-// runMultiOK runs a multi-JVM configuration, reporting ok=false when any
-// instance failed (the sweeps treat a partial machine as a missing point).
-func runMultiOK(cfg sim.MultiConfig) (rs []sim.Result, ok bool) {
-	rs = sim.RunMulti(cfg)
-	for _, r := range rs {
-		if r.Err != nil {
-			return nil, false
-		}
-	}
-	return rs, true
 }

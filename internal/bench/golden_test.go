@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bookmarkgc/internal/runner"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestTable1Golden pins Table 1's rendered output at scale 0.05 — the
+// simulator runs on a simulated clock, so these bytes are
+// machine-independent. Regenerate after an intentional simulator or
+// report change with:
+//
+//	go test ./internal/bench -run TestTable1Golden -update
+func TestTable1Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 at scale 0.05 takes ~10s of simulation")
+	}
+	e, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	rn := runner.New(runner.Options{})
+	var buf bytes.Buffer
+	for _, r := range e.Run(Options{Scale: 0.05, Seed: 1}, rn) {
+		r.Print(&buf)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "table1_scale005.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("table1 output drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -5,8 +5,39 @@ import (
 
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
 )
+
+// minHeapFactors are the probe points of the minimum-heap search, as
+// factors of the paper's per-benchmark minimum.
+var minHeapFactors = []float64{0.4, 0.5, 0.625, 0.75, 1.0, 1.5, 2.0}
+
+// table1AllocJob measures a program's allocation volume: one run with
+// plenty of room.
+func table1AllocJob(o Options, scaled mutator.Spec) runner.Job {
+	return runner.Job{
+		Collector: sim.GenMS,
+		Program:   scaled,
+		HeapBytes: scaled.MinHeap * 4,
+		PhysBytes: scaled.MinHeap*8 + (64 << 20),
+		Seed:      o.Seed,
+	}
+}
+
+// table1ProbeJob asks whether BC completes the program in a heap of
+// f times the paper's minimum.
+func table1ProbeJob(o Options, scaled mutator.Spec, f float64) runner.Job {
+	heap := mem.RoundUpPage(uint64(f * float64(scaled.MinHeap)))
+	return runner.Job{
+		Collector: sim.BC,
+		Program:   scaled,
+		HeapBytes: heap,
+		PhysBytes: heap*4 + (64 << 20),
+		Seed:      o.Seed,
+		Counters:  o.Counters,
+	}
+}
 
 // Table1 reproduces the paper's Table 1: per benchmark, total bytes
 // allocated and minimum heap. The workload generators are parameterized
@@ -14,7 +45,17 @@ import (
 // measured columns come from actually running each program — allocation
 // volume from a generous-heap run, minimum heap from a shrinking search
 // with the bookmarking collector.
-func Table1(o Options) []Report {
+func Table1(o Options, rn *runner.Runner) []Report {
+	var jobs []runner.Job
+	for _, prog := range mutator.Programs {
+		scaled := prog.Scale(o.Scale)
+		jobs = append(jobs, table1AllocJob(o, scaled))
+		for _, f := range minHeapFactors {
+			jobs = append(jobs, table1ProbeJob(o, scaled, f))
+		}
+	}
+	rn.RunAll(jobs)
+
 	r := Report{
 		ID:    "table1",
 		Title: "memory usage statistics for the benchmark suite",
@@ -27,17 +68,10 @@ func Table1(o Options) []Report {
 	}
 	for _, prog := range mutator.Programs {
 		scaled := prog.Scale(o.Scale)
-		// Measured allocation volume: one run with plenty of room.
-		res := sim.Run(sim.RunConfig{
-			Collector: sim.GenMS,
-			Program:   scaled,
-			HeapBytes: scaled.MinHeap * 4,
-			PhysBytes: scaled.MinHeap*8 + (64 << 20),
-			Seed:      o.Seed,
-		})
-		measuredAlloc := float64(res.Mutator.AllocatedBytes) / o.Scale
+		res := rn.Result(table1AllocJob(o, scaled))
+		measuredAlloc := float64(res.One().AllocatedBytes) / o.Scale
 
-		minHeap := findMinHeap(o, scaled)
+		minHeap := findMinHeap(o, rn, scaled)
 		r.Rows = append(r.Rows, []string{
 			prog.Name,
 			fmt.Sprintf("%d", prog.TotalAlloc),
@@ -49,20 +83,12 @@ func Table1(o Options) []Report {
 	return []Report{r}
 }
 
-// findMinHeap probes heap sizes at fixed factors of the paper's minimum
-// and returns the smallest (scaled) heap at which BC completes.
-func findMinHeap(o Options, prog mutator.Spec) uint64 {
-	factors := []float64{0.4, 0.5, 0.625, 0.75, 1.0, 1.5, 2.0}
-	for _, f := range factors {
-		heap := mem.RoundUpPage(uint64(f * float64(prog.MinHeap)))
-		if _, ok := runOK(o, sim.RunConfig{
-			Collector: sim.BC,
-			Program:   prog,
-			HeapBytes: heap,
-			PhysBytes: heap*4 + (64 << 20),
-			Seed:      o.Seed,
-		}); ok {
-			return heap
+// findMinHeap reads the probe results in ascending-factor order and
+// returns the smallest (scaled) heap at which BC completes.
+func findMinHeap(o Options, rn *runner.Runner, prog mutator.Spec) uint64 {
+	for _, f := range minHeapFactors {
+		if rn.Result(table1ProbeJob(o, prog, f)).OK() {
+			return mem.RoundUpPage(uint64(f * float64(prog.MinHeap)))
 		}
 	}
 	return prog.MinHeap * 2

@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cacheFile is the store's file name inside the cache directory.
+const cacheFile = "results.jsonl"
+
+// Cache is the persistent result store: one JSON object per line, keyed
+// by job hash, append-only. Appends are a single unbuffered write each,
+// so every completed job is durable the moment it finishes — a sweep
+// killed mid-run resumes from exactly the jobs that completed. A
+// partially-written trailing line (the kill landed mid-append) is
+// skipped on load and overwritten by the job's re-run.
+type Cache struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	mem  map[string]*Result
+}
+
+// OpenCache opens (creating as needed) the store under dir. With resume
+// set, existing results are loaded and served; otherwise the store is
+// truncated and the sweep starts fresh.
+func OpenCache(dir string, resume bool) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	c := &Cache{path: filepath.Join(dir, cacheFile), mem: make(map[string]*Result)}
+	if resume {
+		if err := c.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(c.path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: cache store: %w", err)
+	}
+	c.f = f
+	if resume {
+		if err := c.healTrailingNewline(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// healTrailingNewline terminates a torn final line (a previous sweep
+// killed mid-append) so the next append starts on a fresh line instead
+// of corrupting itself against the fragment.
+func (c *Cache) healTrailingNewline() error {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: cache heal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return err
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		return fmt.Errorf("runner: cache heal: %w", err)
+	}
+	if last[0] != '\n' {
+		if _, err := c.f.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("runner: cache heal: %w", err)
+		}
+	}
+	return nil
+}
+
+// load reads every parseable line into the in-memory index. Malformed
+// lines (a torn final append) are skipped, not fatal.
+func (c *Cache) load() error {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: cache load: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil || r.Hash == "" {
+			continue
+		}
+		r.Cached = true
+		c.mem[r.Hash] = &r
+	}
+	return sc.Err()
+}
+
+// Get returns the stored result for hash, if any.
+func (c *Cache) Get(hash string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.mem[hash]
+	return r, ok
+}
+
+// Put appends res to the store (and the in-memory index). Non-cacheable
+// results (timeouts, panics) are ignored so a resumed sweep retries them.
+func (c *Cache) Put(res *Result) error {
+	if !res.cacheable() {
+		return nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[res.Hash]; ok {
+		return nil
+	}
+	if _, err := c.f.Write(b); err != nil {
+		return fmt.Errorf("runner: cache append: %w", err)
+	}
+	c.mem[res.Hash] = res
+	return nil
+}
+
+// Len returns the number of stored results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Path returns the store's file path.
+func (c *Cache) Path() string { return c.path }
+
+// Close closes the underlying file.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

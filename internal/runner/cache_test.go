@@ -1,0 +1,215 @@
+package runner
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJob(1)
+	j.Counters = true
+	rn := New(Options{Workers: 1, Cache: cache})
+	fresh := rn.RunAll([]Job{j})[0]
+	if !fresh.OK() {
+		t.Fatalf("job failed: %q", fresh.Err)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenCache(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 1 {
+		t.Fatalf("reloaded %d results, want 1", reopened.Len())
+	}
+	got, ok := reopened.Get(j.Hash())
+	if !ok {
+		t.Fatal("stored result not found by hash")
+	}
+	if !got.Cached {
+		t.Fatal("reloaded result not marked Cached")
+	}
+	// The reduce-visible content must survive the JSON round trip exactly:
+	// a cached sweep must be indistinguishable from a fresh one.
+	if !reflect.DeepEqual(got.Runs, fresh.Runs) {
+		t.Fatalf("runs changed across round trip:\nfresh: %+v\ncached: %+v", fresh.Runs, got.Runs)
+	}
+	if !reflect.DeepEqual(got.Counters, fresh.Counters) {
+		t.Fatalf("counters changed across round trip: %v vs %v", fresh.Counters, got.Counters)
+	}
+
+	// A runner on the reopened store serves the job without executing.
+	rn2 := New(Options{Workers: 1, Cache: reopened})
+	res := rn2.RunAll([]Job{j})[0]
+	if !res.Cached {
+		t.Fatal("resumed run did not use the store")
+	}
+	st := rn2.Stats()
+	if st.Executed != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats %+v: want 0 executed, 1 disk hit", st)
+	}
+}
+
+func TestCacheCountersPresence(t *testing.T) {
+	// An enabled-but-empty counters map must stay non-nil after a round
+	// trip, and a disabled one must stay nil — reduces branch on this.
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Put(&Result{Hash: "aa", Counters: map[string]uint64{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Put(&Result{Hash: "bb"}); err != nil {
+		t.Fatal(err)
+	}
+	cache.Close()
+	re, err := OpenCache(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	withC, _ := re.Get("aa")
+	withoutC, _ := re.Get("bb")
+	if withC == nil || withC.Counters == nil {
+		t.Fatal("enabled-but-empty counters map became nil")
+	}
+	if withoutC == nil || withoutC.Counters != nil {
+		t.Fatal("disabled counters map became non-nil")
+	}
+}
+
+func TestCacheSkipsEngineErrors(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	if err := cache.Put(&Result{Hash: "cc", Err: "timeout after 1ns", TimedOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("engine error was persisted; resume would never retry it")
+	}
+	// But a deterministic run failure (e.g. OOM) is persisted.
+	if err := cache.Put(&Result{Hash: "dd", Runs: []RunData{{Err: "out of memory"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatal("deterministic run failure was not persisted")
+	}
+}
+
+func TestCacheTornTrailingLine(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Put(&Result{Hash: "ee", Runs: []RunData{{ElapsedSecs: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	path := cache.Path()
+	cache.Close()
+
+	// Simulate a kill mid-append: a torn, unterminated JSON fragment.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"hash":"ff","runs":[{"elaps`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenCache(dir, true)
+	if err != nil {
+		t.Fatalf("torn trailing line must not fail resume: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("loaded %d results, want 1 (torn line skipped)", re.Len())
+	}
+	if _, ok := re.Get("ee"); !ok {
+		t.Fatal("intact line lost")
+	}
+	if _, ok := re.Get("ff"); ok {
+		t.Fatal("torn line was loaded")
+	}
+	// Resume heals the missing newline, so the torn job's re-run appends
+	// on a fresh line and survives the next load.
+	if err := re.Put(&Result{Hash: "ff", Runs: []RunData{{ElapsedSecs: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := OpenCache(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 2 {
+		t.Fatalf("loaded %d results after heal, want 2", re2.Len())
+	}
+	if _, ok := re2.Get("ff"); !ok {
+		t.Fatal("re-run appended after a torn fragment was lost")
+	}
+}
+
+func TestCacheFreshTruncates(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(&Result{Hash: "gg", Runs: []RunData{{ElapsedSecs: 1}}})
+	cache.Close()
+	fresh, err := OpenCache(dir, false) // no resume: start over
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.Len() != 0 {
+		t.Fatal("fresh open served stale results")
+	}
+	if _, ok := fresh.Get("gg"); ok {
+		t.Fatal("stale result visible after truncation")
+	}
+}
+
+func TestCachePutIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Hash: "hh", Runs: []RunData{{ElapsedSecs: 1}}, WallNS: int64(time.Second)}
+	cache.Put(res)
+	cache.Put(res)
+	cache.Put(res)
+	cache.Close()
+	b, err := os.ReadFile(cache.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, c := range b {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("duplicate Put wrote %d lines, want 1", lines)
+	}
+}

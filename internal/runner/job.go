@@ -1,0 +1,153 @@
+// Package runner is the sweep-execution engine behind the experiment
+// harness. It decomposes an experiment's configuration matrix into
+// independent Jobs — one fully-specified simulation each — and executes
+// them on a bounded worker pool with per-job timeout, cancellation of
+// nothing shared (each job owns its clock, VMM, and trace sink), and
+// panic isolation, so one impossible configuration cannot kill a sweep.
+//
+// Every Job has a canonical content hash over everything that determines
+// its outcome (collector, program spec, heap/phys bytes, pressure
+// schedule, seed, chaos regime, ...). Results are memoized by that hash
+// in memory and, optionally, persisted to a JSONL store so interrupted
+// sweeps resume incrementally and repeated sweeps are free. Because the
+// simulator is deterministic, a hash hit is indistinguishable from a
+// fresh run, and reports reduced from memoized results are byte-identical
+// regardless of worker count or scheduling order.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
+)
+
+// Job is one fully-specified simulation: a pure value, serializable, and
+// hashable. Field order is load-bearing — the canonical hash is computed
+// over the struct's JSON encoding, so reordering or renaming fields
+// invalidates every persisted cache (bump no version; stale entries are
+// simply never hit again).
+type Job struct {
+	Collector sim.CollectorKind `json:"collector"`
+	Program   mutator.Spec      `json:"program"`
+	HeapBytes uint64            `json:"heap_bytes"`
+	PhysBytes uint64            `json:"phys_bytes"`
+	Pressure  *sim.Pressure     `json:"pressure,omitempty"`
+	Seed      int64             `json:"seed"`
+	Costs     *vmm.Costs        `json:"costs,omitempty"`
+	Chaos     *fault.Config     `json:"chaos,omitempty"`
+
+	// JVMs > 1 runs that many identical instances round-robin on one
+	// machine (sim.RunMulti); 0 or 1 is a single-process run. Quantum is
+	// the multi-JVM scheduling quantum (0 = sim's default).
+	JVMs    int `json:"jvms,omitempty"`
+	Quantum int `json:"quantum,omitempty"`
+
+	// Counters attaches a per-job event-counter registry; its totals ride
+	// along in the Result. Counting never advances the simulated clock,
+	// but it changes what a Result carries, so it is part of the hash.
+	Counters bool `json:"counters,omitempty"`
+}
+
+// Hash returns the job's canonical content hash: hex SHA-256 of its JSON
+// encoding. encoding/json emits struct fields in declaration order and
+// formats floats deterministically, so equal jobs hash equally across
+// processes and platforms.
+func (j Job) Hash() string {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// A Job is plain data; Marshal cannot fail on one. Guard anyway.
+		panic(fmt.Sprintf("runner: unhashable job: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// validate rejects configurations the simulator cannot express, before
+// any simulation state exists.
+func (j Job) validate() error {
+	if j.JVMs > 1 && j.Pressure != nil {
+		return fmt.Errorf("runner: multi-JVM jobs do not support a pressure schedule")
+	}
+	if j.JVMs > 1 && j.Chaos != nil {
+		return fmt.Errorf("runner: multi-JVM jobs do not support chaos injection")
+	}
+	return nil
+}
+
+// Execute runs one job to completion on the calling goroutine and never
+// panics: a panicking simulation (beyond the out-of-memory condition
+// sim.Run already converts to a per-run error) becomes a job error, not
+// a dead sweep.
+func Execute(j Job) *Result {
+	return capture(j.Hash(), func() *Result { return execute(j) })
+}
+
+// capture converts a panic from f into an errored Result for hash.
+func capture(hash string, f func() *Result) (res *Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = &Result{Hash: hash, Err: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	return f()
+}
+
+func execute(j Job) *Result {
+	res := &Result{Hash: j.Hash()}
+	if err := j.validate(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var ctrs *trace.Counters
+	if j.Counters {
+		ctrs = trace.NewCounters()
+	}
+	if j.JVMs > 1 {
+		rs := sim.RunMulti(sim.MultiConfig{
+			Collector: j.Collector,
+			Program:   j.Program,
+			HeapBytes: j.HeapBytes,
+			PhysBytes: j.PhysBytes,
+			JVMs:      j.JVMs,
+			Quantum:   j.Quantum,
+			Seed:      j.Seed,
+			Costs:     j.Costs,
+			Counters:  ctrs,
+		})
+		if len(rs) != j.JVMs {
+			// RunMulti signals an invalid configuration with a single
+			// errored result.
+			if len(rs) > 0 && rs[0].Err != nil {
+				res.Err = rs[0].Err.Error()
+			} else {
+				res.Err = fmt.Sprintf("runner: expected %d results, got %d", j.JVMs, len(rs))
+			}
+			return res
+		}
+		for _, r := range rs {
+			res.Runs = append(res.Runs, newRunData(r))
+		}
+	} else {
+		r := sim.Run(sim.RunConfig{
+			Collector: j.Collector,
+			Program:   j.Program,
+			HeapBytes: j.HeapBytes,
+			PhysBytes: j.PhysBytes,
+			Pressure:  j.Pressure,
+			Seed:      j.Seed,
+			Costs:     j.Costs,
+			Chaos:     j.Chaos,
+			Counters:  ctrs,
+		})
+		res.Runs = append(res.Runs, newRunData(r))
+	}
+	res.Counters = countersMap(ctrs)
+	return res
+}

@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bookmarkgc/internal/trace"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout is the per-job wall-clock limit (0 = none). A timed-out
+	// job yields an errored, non-cacheable Result; the worker moves on
+	// while the abandoned simulation goroutine finishes in the
+	// background, so concurrency can transiently exceed Workers after a
+	// timeout.
+	Timeout time.Duration
+	// Cache, when non-nil, persists every cacheable result and serves
+	// hits from previous (or interrupted) sweeps.
+	Cache *Cache
+	// Counters, when non-nil, receives the engine's own telemetry
+	// (jobs executed, cache hits, errors, timeouts).
+	Counters *trace.Counters
+	// OnProgress, when non-nil, is called after each job resolves (run
+	// or cache hit). It runs on worker goroutines; keep it fast.
+	OnProgress func(Progress)
+}
+
+// Progress is a point-in-time view of one RunAll batch.
+type Progress struct {
+	Done, Total int // jobs resolved / in the batch
+	Hits        int // of Done, served from memo or store
+	Elapsed     time.Duration
+	ETA         time.Duration // zero until one job resolves, and when done
+}
+
+// Stats accumulates across every batch a Runner executes.
+type Stats struct {
+	Submitted int // jobs seen (including duplicates and hits)
+	Executed  int // simulations actually run
+	MemHits   int // served from this process's memo
+	DiskHits  int // served from the persistent store
+	Errors    int // engine-level failures (config, panic, timeout)
+	Timeouts  int
+}
+
+// Hits returns all cache hits (memo + store).
+func (s Stats) Hits() int { return s.MemHits + s.DiskHits }
+
+// Runner executes jobs on a bounded worker pool, memoizing results by
+// content hash. Safe for concurrent use; results it returns are shared
+// and must be treated as immutable.
+type Runner struct {
+	opts  Options
+	mu    sync.Mutex
+	memo  map[string]*Result
+	stats Stats
+}
+
+// New returns a Runner with opts.
+func New(opts Options) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{opts: opts, memo: make(map[string]*Result)}
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// RunAll resolves every job and returns results in job order — cache
+// hits immediately, the rest executed concurrently, duplicates (by
+// hash) executed once. The returned slice is deterministic in content
+// regardless of worker count; only wall-clock metadata differs.
+func (r *Runner) RunAll(jobs []Job) []*Result {
+	start := time.Now()
+	out := make([]*Result, len(jobs))
+	hashes := make([]string, len(jobs))
+	var leaders []int
+	followers := make(map[string][]int)
+	hits := 0
+
+	r.mu.Lock()
+	for i, j := range jobs {
+		h := j.Hash()
+		hashes[i] = h
+		r.stats.Submitted++
+		if res, ok := r.lookupLocked(h); ok {
+			out[i] = res
+			hits++
+			continue
+		}
+		if _, dup := followers[h]; dup {
+			followers[h] = append(followers[h], i)
+			continue
+		}
+		followers[h] = nil
+		leaders = append(leaders, i)
+	}
+	r.mu.Unlock()
+
+	done := hits
+	r.emitProgress(start, done, len(jobs), hits)
+
+	if len(leaders) > 0 {
+		workers := r.opts.Workers
+		if workers > len(leaders) {
+			workers = len(leaders)
+		}
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					res := r.runOne(jobs[i])
+					if r.opts.Cache != nil {
+						// Best-effort: a full disk degrades resume, not
+						// the sweep.
+						_ = r.opts.Cache.Put(res)
+					}
+					r.mu.Lock()
+					r.memo[hashes[i]] = res
+					out[i] = res
+					r.recordLocked(res)
+					done += 1 + len(followers[hashes[i]])
+					d := done
+					r.mu.Unlock()
+					r.emitProgress(start, d, len(jobs), hits)
+				}
+			}()
+		}
+		for _, i := range leaders {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	}
+
+	r.mu.Lock()
+	for h, idxs := range followers {
+		for _, i := range idxs {
+			out[i] = r.memo[h]
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Result returns j's result, executing it inline when no batch has
+// resolved it yet — reduces stay correct even for a job their emission
+// pass missed, just without parallelism.
+func (r *Runner) Result(j Job) *Result {
+	h := j.Hash()
+	r.mu.Lock()
+	res, ok := r.lookupLocked(h)
+	if ok {
+		r.stats.Submitted++
+		r.mu.Unlock()
+		return res
+	}
+	r.stats.Submitted++
+	r.mu.Unlock()
+
+	res = r.runOne(j)
+	if r.opts.Cache != nil {
+		_ = r.opts.Cache.Put(res)
+	}
+	r.mu.Lock()
+	r.memo[h] = res
+	r.recordLocked(res)
+	r.mu.Unlock()
+	return res
+}
+
+// lookupLocked serves a hash from the memo or the persistent store,
+// promoting store hits into the memo. Caller holds r.mu.
+func (r *Runner) lookupLocked(h string) (*Result, bool) {
+	if res, ok := r.memo[h]; ok {
+		r.stats.MemHits++
+		r.opts.Counters.Inc(trace.CRunnerMemHits)
+		return res, true
+	}
+	if r.opts.Cache != nil {
+		if res, ok := r.opts.Cache.Get(h); ok {
+			r.memo[h] = res
+			r.stats.DiskHits++
+			r.opts.Counters.Inc(trace.CRunnerCacheHits)
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// recordLocked updates execution telemetry for a fresh result. Caller
+// holds r.mu.
+func (r *Runner) recordLocked(res *Result) {
+	r.stats.Executed++
+	r.opts.Counters.Inc(trace.CRunnerJobsExecuted)
+	if res.Err != "" {
+		r.stats.Errors++
+		r.opts.Counters.Inc(trace.CRunnerJobErrors)
+	}
+	if res.TimedOut {
+		r.stats.Timeouts++
+		r.opts.Counters.Inc(trace.CRunnerJobTimeouts)
+	}
+}
+
+// runOne executes one job, applying the per-job timeout.
+func (r *Runner) runOne(j Job) *Result {
+	start := time.Now()
+	var res *Result
+	if r.opts.Timeout > 0 {
+		ch := make(chan *Result, 1)
+		go func() { ch <- Execute(j) }()
+		select {
+		case res = <-ch:
+		case <-time.After(r.opts.Timeout):
+			res = &Result{
+				Hash:     j.Hash(),
+				Err:      fmt.Sprintf("timeout after %v", r.opts.Timeout),
+				TimedOut: true,
+			}
+		}
+	} else {
+		res = Execute(j)
+	}
+	res.WallNS = int64(time.Since(start))
+	return res
+}
+
+func (r *Runner) emitProgress(start time.Time, done, total, hits int) {
+	if r.opts.OnProgress == nil || total == 0 {
+		return
+	}
+	p := Progress{Done: done, Total: total, Hits: hits, Elapsed: time.Since(start)}
+	if done > 0 && done < total {
+		p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(total-done))
+	}
+	r.opts.OnProgress(p)
+}

@@ -211,6 +211,26 @@ func (s *SignalMem) grow() {
 	s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
 }
 
+// newInstance assembles one JVM on machine v: its environment (named
+// name), trace and counter wiring, declared types, collector, and
+// stepable mutator run. Run and RunMulti both build instances through
+// it so their setup paths cannot drift apart. A nil tr keeps the
+// environment's default no-op tracer.
+func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
+	prog mutator.Spec, seed int64, tr trace.Tracer, ctrs *trace.Counters) (*gc.Env, gc.Collector, *mutator.Run, error) {
+	env := gc.NewEnv(v, name, heapBytes)
+	if tr != nil {
+		env.Trace = tr
+	}
+	env.Counters = ctrs
+	types := mutator.DeclareTypes(env)
+	col, err := NewCollector(kind, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return env, col, mutator.NewRun(prog, col, types, seed), nil
+}
+
 // RunConfig describes one JVM-on-one-machine experiment.
 type RunConfig struct {
 	Collector CollectorKind
@@ -268,16 +288,13 @@ func Run(cfg RunConfig) (res Result) {
 		costs = *cfg.Costs
 	}
 	v := vmm.New(clock, cfg.PhysBytes, costs)
-	env := gc.NewEnv(v, string(cfg.Collector), cfg.HeapBytes)
 	tr := trace.Tracer(trace.Nop{})
 	if cfg.Trace != nil {
 		cfg.Trace.SetClock(clock)
 		tr = cfg.Trace
 	}
-	env.Trace = tr
-	env.Counters = cfg.Counters
-	types := mutator.DeclareTypes(env)
-	col, err := NewCollector(cfg.Collector, env)
+	env, col, run, err := newInstance(v, string(cfg.Collector), cfg.Collector,
+		cfg.HeapBytes, cfg.Program, cfg.Seed, tr, cfg.Counters)
 	if err != nil {
 		return Result{Config: cfg, Err: err}
 	}
@@ -289,7 +306,6 @@ func Run(cfg RunConfig) (res Result) {
 	if cfg.Pressure != nil {
 		StartSignalMem(v, *cfg.Pressure, tr)
 	}
-	run := mutator.NewRun(cfg.Program, col, types, cfg.Seed)
 
 	start := clock.Now()
 	col.Stats().Timeline.Start = start
@@ -377,23 +393,19 @@ func RunMulti(cfg MultiConfig) []Result {
 	}
 	jvms := make([]*jvm, cfg.JVMs)
 	for i := range jvms {
-		env := gc.NewEnv(v, fmt.Sprintf("%s-%d", cfg.Collector, i), cfg.HeapBytes)
+		name := fmt.Sprintf("%s-%d", cfg.Collector, i)
+		var tr trace.Tracer
 		if cfg.Trace != nil {
-			env.Trace = cfg.Trace.Thread(fmt.Sprintf("%s-%d", cfg.Collector, i))
+			tr = cfg.Trace.Thread(name)
 		}
-		env.Counters = cfg.Counters
-		types := mutator.DeclareTypes(env)
-		col, err := NewCollector(cfg.Collector, env)
+		env, col, run, err := newInstance(v, name, cfg.Collector,
+			cfg.HeapBytes, cfg.Program, cfg.Seed+int64(i), tr, cfg.Counters)
 		if err != nil {
 			// Same kind for every JVM: the whole configuration is invalid.
 			return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,
 				HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes}, Err: err}}
 		}
-		jvms[i] = &jvm{
-			env: env,
-			col: col,
-			run: mutator.NewRun(cfg.Program, col, types, cfg.Seed+int64(i)),
-		}
+		jvms[i] = &jvm{env: env, col: col, run: run}
 		col.Stats().Timeline.Start = clock.Now()
 	}
 

@@ -100,6 +100,21 @@ const (
 	// CChaosPressureSpikes counts injected SignalMem pressure spikes.
 	CChaosPressureSpikes
 
+	// Sweep-runner counters (internal/runner): the engine's own
+	// telemetry — how a sweep's jobs resolved.
+
+	// CRunnerJobsExecuted counts jobs actually simulated.
+	CRunnerJobsExecuted
+	// CRunnerMemHits counts jobs served from the in-process memo.
+	CRunnerMemHits
+	// CRunnerCacheHits counts jobs served from the persistent store.
+	CRunnerCacheHits
+	// CRunnerJobErrors counts engine-level job failures (bad config,
+	// simulator panic, timeout).
+	CRunnerJobErrors
+	// CRunnerJobTimeouts counts jobs abandoned at the per-job deadline.
+	CRunnerJobTimeouts
+
 	numCounters
 )
 
@@ -140,6 +155,11 @@ var counterNames = [numCounters]string{
 	CChaosSpuriousReloads:  "chaos_spurious_reloads",
 	CChaosMuted:            "chaos_muted",
 	CChaosPressureSpikes:   "chaos_pressure_spikes",
+	CRunnerJobsExecuted:    "runner_jobs_executed",
+	CRunnerMemHits:         "runner_mem_hits",
+	CRunnerCacheHits:       "runner_cache_hits",
+	CRunnerJobErrors:       "runner_job_errors",
+	CRunnerJobTimeouts:     "runner_job_timeouts",
 }
 
 func (c Counter) String() string {
