@@ -24,6 +24,8 @@
 package bookmarkgc
 
 import (
+	"bufio"
+	"os"
 	"time"
 
 	"bookmarkgc/internal/bench"
@@ -34,6 +36,7 @@ import (
 	"bookmarkgc/internal/objmodel"
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/vmm"
+	"bookmarkgc/internal/workload"
 )
 
 // Ref is a reference to a managed heap object. The zero Ref is nil.
@@ -114,6 +117,64 @@ func SteadyPressure(heapBytes uint64, frac float64) *Pressure {
 // DynamicPressure grabs 30 MB then grows 1 MB/100 ms until only
 // availBytes remain (§5.3.2).
 func DynamicPressure(availBytes uint64) *Pressure { return sim.DynamicPressure(availBytes) }
+
+// TraceSource replays a recorded or synthesized allocation trace; set it
+// as RunConfig.Workload to drive a run from the trace instead of a
+// Program generator. See DESIGN.md §10 and cmd/gctrace.
+type TraceSource = mutator.Source
+
+// RecordTrace executes cfg and writes its complete allocation trace
+// (every allocation, pointer store, data access and root update, plus
+// the mutator's data checksum) to path. The returned Result is the
+// recording run's; OpenTrace replays the file through any collector,
+// reproducing the recorded run exactly under the recording
+// configuration. On a failed run the partial file is removed.
+func RecordTrace(path string, cfg RunConfig) (Result, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return Result{}, err
+	}
+	bw := bufio.NewWriter(f)
+	wr, err := workload.NewWriter(bw, workload.Meta{
+		Name:      cfg.Program.Name,
+		Source:    "record",
+		Program:   &cfg.Program,
+		Seed:      cfg.Seed,
+		Collector: string(cfg.Collector),
+		HeapBytes: cfg.HeapBytes,
+		PhysBytes: cfg.PhysBytes,
+	})
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return Result{}, err
+	}
+	cfg.Sink = workload.NewRecorder(wr)
+	r := sim.Run(cfg)
+	if r.Err != nil {
+		f.Close()
+		os.Remove(path)
+		return r, r.Err
+	}
+	err = cfg.Sink.(*workload.Recorder).Close(r.Mutator)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return r, err
+	}
+	return r, nil
+}
+
+// OpenTrace opens a .gctrace file (recorded by RecordTrace or
+// cmd/gctrace, or synthesized by gctrace gen) for replay. The source can
+// drive any number of runs; each run re-reads the file in constant
+// memory.
+func OpenTrace(path string) (TraceSource, error) { return workload.Open(path) }
 
 // ExperimentOptions configures the table/figure reproductions.
 type ExperimentOptions = bench.Options

@@ -20,6 +20,8 @@
 //            thrash); -chaos-seed drives the injector's PRNG
 // -trace f   writes GC phase spans and VM-cooperation events to f
 // -counters  prints the event-counter registry after the run
+// -list      prints the simulator's inventory (programs, collectors,
+//            chaos regimes, synthesizer models, *.gctrace files) and exits
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -40,6 +43,7 @@ import (
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
+	"bookmarkgc/internal/workload"
 )
 
 func main() {
@@ -61,8 +65,14 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a GC event trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
 		counters  = flag.Bool("counters", false, "print the event-counter registry after the run")
+		list      = flag.Bool("list", false, "list programs, collectors, chaos regimes, trace models and files, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listInventory()
+		return
+	}
 
 	// Reject contradictory or out-of-range configurations up front, before
 	// any simulation state exists; exit 2 like other flag errors.
@@ -207,6 +217,40 @@ func main() {
 		}
 	}
 	finish(rec, reg, *traceOut, *traceFmt, *counters)
+}
+
+// listInventory prints everything the simulator can run: the benchmark
+// programs (Table 1), the collector kinds, the chaos regimes, the trace
+// synthesizer models, and any recorded traces in the current directory.
+func listInventory() {
+	fmt.Println("programs (-program; sizes at paper scale 1.0):")
+	for _, p := range mutator.Programs {
+		fmt.Printf("  %-10s  alloc=%4dMB minHeap=%3dMB\n",
+			p.Name, p.TotalAlloc>>20, p.MinHeap>>20)
+	}
+	fmt.Println("collectors (-collector):")
+	for _, k := range sim.KnownKinds {
+		fmt.Printf("  %s\n", k)
+	}
+	fmt.Printf("chaos regimes (-chaos): %s\n", strings.Join(fault.Regimes(), ", "))
+	fmt.Printf("trace synthesizer models (gctrace gen -model): %s\n",
+		strings.Join(workload.Models, ", "))
+
+	paths, _ := filepath.Glob("*.gctrace")
+	if len(paths) == 0 {
+		fmt.Println("trace files (*.gctrace in .): none")
+		return
+	}
+	fmt.Println("trace files (*.gctrace in .):")
+	for _, p := range paths {
+		meta, err := workload.ReadMeta(p)
+		if err != nil {
+			fmt.Printf("  %-24s  unreadable: %v\n", p, err)
+			continue
+		}
+		fmt.Printf("  %-24s  name=%s source=%s seed=%d collector=%s\n",
+			p, meta.Name, meta.Source, meta.Seed, meta.Collector)
+	}
 }
 
 // checkErr reports a failed run: impossible configurations (live data

@@ -1,0 +1,304 @@
+// Command gctrace records, replays, synthesizes, and inspects allocation
+// traces (internal/workload). A trace captures a workload's full event
+// stream — allocations, root updates, data accesses, pointer stores — so
+// the identical mutator can be driven through any collector, any number
+// of times, without the generator: record once, replay everywhere.
+//
+// Usage:
+//
+//	gctrace record -o FILE [-program pseudojbb] [-collector BC]
+//	               [-scale 0.25] [-seed 1] [-heap 77] [-phys 256]
+//	gctrace replay [-collector BC] [-heap 0] [-phys 0] FILE
+//	gctrace gen    -o FILE [-model markov] [-allocs 100000] [-live 1000]
+//	               [-seed 1] [-name NAME]
+//	gctrace stat   FILE
+//	gctrace verify FILE
+//
+// record runs a benchmark program once, writing the trace alongside the
+// normal run. replay drives a recorded or synthesized trace through a
+// collector; for recorded traces the footer checksum cross-checks every
+// data word against the original run. gen synthesizes a trace from a
+// statistical model (markov, ramp, frag) that the spec table cannot
+// express. stat prints a trace's structural statistics and content hash;
+// verify exits non-zero unless the trace is well-formed down to the last
+// byte. -heap/-phys of 0 on replay reuse the recording run's geometry.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/vmm"
+	"bookmarkgc/internal/workload"
+
+	"flag"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: gctrace {record|replay|gen|stat|verify} [flags] [FILE]\n")
+	os.Exit(2)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gctrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// oneFile returns the single positional FILE argument of fs.
+func oneFile(fs *flag.FlagSet) string {
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "gctrace: expected exactly one trace file argument\n")
+		os.Exit(2)
+	}
+	return fs.Arg(0)
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out       = fs.String("o", "", "output trace file (required)")
+		program   = fs.String("program", "pseudojbb", "benchmark program (see Table 1)")
+		collector = fs.String("collector", "BC", "collector to run under while recording")
+		scale     = fs.Float64("scale", 0.25, "scale factor applied to all byte quantities")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		heapMB    = fs.Float64("heap", 77, "heap size in MB (paper scale)")
+		physMB    = fs.Float64("phys", 256, "physical memory in MB (paper scale)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		die("record: -o is required")
+	}
+	prog, ok := mutator.ByName(*program)
+	if !ok {
+		die("record: unknown program %q", *program)
+	}
+	prog = prog.Scale(*scale)
+	heap := mem.RoundUpPage(uint64(*heapMB * *scale * (1 << 20)))
+	phys := mem.RoundUpPage(uint64(*physMB * *scale * (1 << 20)))
+	if phys < vmm.MinPhysBytes {
+		die("record: -phys %v at -scale %v is below the smallest simulable machine", *physMB, *scale)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		die("record: %v", err)
+	}
+	bw := bufio.NewWriter(f)
+	wr, err := workload.NewWriter(bw, workload.Meta{
+		Name:      prog.Name,
+		Source:    "record",
+		Program:   &prog,
+		Seed:      *seed,
+		Collector: *collector,
+		HeapBytes: heap,
+		PhysBytes: phys,
+	})
+	if err != nil {
+		die("record: %v", err)
+	}
+	rec := workload.NewRecorder(wr)
+	r := sim.Run(sim.RunConfig{
+		Collector: sim.CollectorKind(*collector),
+		Program:   prog, HeapBytes: heap, PhysBytes: phys,
+		Seed: *seed, Sink: rec,
+	})
+	if r.Err != nil {
+		os.Remove(*out)
+		die("record: run failed: %v", r.Err)
+	}
+	if err := rec.Close(r.Mutator); err == nil {
+		err = bw.Flush()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		die("record: writing trace: %v", err)
+	}
+	hash, err := workload.HashFile(*out)
+	if err != nil {
+		die("record: %v", err)
+	}
+	fmt.Printf("recorded %s: %d events, %d allocs, %d bytes, checksum %#x\n",
+		*out, wr.Events(), r.Mutator.Allocations, r.Mutator.AllocatedBytes, r.Mutator.Checksum)
+	fmt.Printf("content hash %s\n", hash)
+	fmt.Println(runSummary(*collector, prog.Name, r))
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		collector = fs.String("collector", "BC", "collector to replay under")
+		heapMB    = fs.Float64("heap", 0, "heap size in MB (0 = the recording run's)")
+		physMB    = fs.Float64("phys", 0, "physical memory in MB (0 = the recording run's)")
+	)
+	fs.Parse(args)
+	path := oneFile(fs)
+	src, err := workload.Open(path)
+	if err != nil {
+		die("replay: %v", err)
+	}
+	meta := src.Meta()
+	heap, phys := meta.HeapBytes, meta.PhysBytes
+	if *heapMB > 0 {
+		heap = mem.RoundUpPage(uint64(*heapMB * (1 << 20)))
+	}
+	if *physMB > 0 {
+		phys = mem.RoundUpPage(uint64(*physMB * (1 << 20)))
+	}
+	if heap == 0 || phys == 0 {
+		die("replay: %s records no run geometry (a synthesized trace?); pass -heap and -phys", path)
+	}
+	var prog mutator.Spec
+	if meta.Program != nil {
+		prog = *meta.Program
+	}
+	r := sim.Run(sim.RunConfig{
+		Collector: sim.CollectorKind(*collector),
+		Program:   prog, HeapBytes: heap, PhysBytes: phys,
+		Seed: meta.Seed, Workload: src,
+	})
+	if r.Err != nil {
+		die("replay: %v", r.Err)
+	}
+	fmt.Println(runSummary(*collector, meta.Name, r))
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		out    = fs.String("o", "", "output trace file (required)")
+		model  = fs.String("model", "markov", "synthesis model: "+strings.Join(workload.Models, ", "))
+		allocs = fs.Int("allocs", 100_000, "allocation iterations to emit")
+		live   = fs.Int("live", 1_000, "live-set target in objects")
+		seed   = fs.Int64("seed", 1, "model PRNG seed")
+		name   = fs.String("name", "", "trace name (default: the model name)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		die("gen: -o is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		die("gen: %v", err)
+	}
+	bw := bufio.NewWriter(f)
+	err = workload.Synthesize(bw, workload.SynthParams{
+		Model: *model, Allocs: *allocs, Live: *live, Seed: *seed, Name: *name,
+	})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(*out)
+		die("gen: %v", err)
+	}
+	hash, err := workload.HashFile(*out)
+	if err != nil {
+		die("gen: %v", err)
+	}
+	fmt.Printf("generated %s (%s): %d allocation iterations, live target %d\n",
+		*out, *model, *allocs, *live)
+	fmt.Printf("content hash %s\n", hash)
+}
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	fs.Parse(args)
+	path := oneFile(fs)
+	st := verifyFile(path)
+	hash, err := workload.HashFile(path)
+	if err != nil {
+		die("stat: %v", err)
+	}
+	m := st.Meta
+	fmt.Printf("%s: %q (%s), format v%d\n", path, m.Name, m.Source, m.FormatVersion)
+	if m.Program != nil {
+		fmt.Printf("  recorded: program %s, seed %d, collector %s, heap %dB, phys %dB\n",
+			m.Program.Name, m.Seed, m.Collector, m.HeapBytes, m.PhysBytes)
+	}
+	if len(m.Model) > 0 {
+		fmt.Printf("  model: %v, seed %d\n", m.Model, m.Seed)
+	}
+	fmt.Printf("  content hash %s\n", hash)
+	fmt.Printf("  %d events in %d blocks, %d quantum steps\n", st.Events, st.Blocks, st.Steps)
+	fmt.Printf("  allocs %d (%d nodes, %d data arrays, %d ref arrays) totalling %dB\n",
+		st.Allocs, st.Nodes, st.DataArrs, st.RefArrs, st.Bytes)
+	fmt.Printf("  %d temps, %d survivors; peak live %d objects\n", st.Temps, st.Survivors, st.PeakLive)
+	fmt.Printf("  lifetime p50 %d, p90 %d (allocations survived)\n", st.LifetimeP50, st.LifetimeP90)
+	fmt.Printf("  %d free hints, %d releases, %d nil roots\n", st.FreeHints, st.Releases, st.RootNils)
+	fmt.Printf("  %d links (+%d no-op), %d work reads, %d work writes\n",
+		st.Links, st.LinkNops, st.WorkReads, st.WorkWrites)
+	if st.Footer.HasChecksum {
+		fmt.Printf("  footer checksum %#x\n", st.Footer.Checksum)
+	} else {
+		fmt.Printf("  no footer checksum (synthesized)\n")
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	path := oneFile(fs)
+	st := verifyFile(path)
+	fmt.Printf("%s: OK (%d events, %d allocs, %d blocks)\n", path, st.Events, st.Allocs, st.Blocks)
+}
+
+// verifyFile scans path end to end, dying on any structural violation.
+func verifyFile(path string) *workload.Stats {
+	f, err := os.Open(path)
+	if err != nil {
+		die("%v", err)
+	}
+	defer f.Close()
+	rd, err := workload.NewReader(bufio.NewReader(f))
+	if err != nil {
+		die("%s: %v", path, err)
+	}
+	st, err := workload.Verify(rd)
+	if err != nil {
+		die("%s: %v", path, err)
+	}
+	return st
+}
+
+func runSummary(col, name string, r sim.Result) string {
+	st := r.GCStats
+	round := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+	return fmt.Sprintf(
+		"%s/%s: exec=%.3fs alloc=%dB gcs=%d (nursery=%d full=%d compact=%d failsafe=%d) avgPause=%v maxPause=%v majflt=%d",
+		col, name,
+		r.ElapsedSecs, r.Mutator.AllocatedBytes,
+		r.Timeline.Count(), st.Nursery, st.Full, st.Compactions, st.FailSafe,
+		round(r.Timeline.AvgPause()), round(r.Timeline.MaxPause()),
+		r.ProcStats.MajorFaults)
+}

@@ -113,6 +113,7 @@ func Experiments() []Experiment {
 		{"fig6", "bounded mutator utilization curves", Fig6},
 		{"fig7", "two JVMs: execution time and mean pause", Fig7},
 		{"ablate", "ablations of BC design choices (§7, DESIGN.md)", Ablations},
+		{"replay", "one recorded trace replayed across collectors", Replay},
 	}
 }
 

@@ -46,6 +46,13 @@ type Spec struct {
 	// allocations, of LargeWords payload words.
 	LargeEvery int
 	LargeWords int
+	// LargeLive > 0 bounds how many large buffers are simultaneously
+	// live: surviving large allocations rotate through a ring of this
+	// many dedicated root slots (modeling a program that reuses a few
+	// I/O buffers) instead of displacing random pool entries, whose
+	// open-ended lifetimes would let large garbage pile up in the live
+	// set. 0 keeps the legacy pool-displacement behaviour.
+	LargeLive int
 	// WorkPerAlloc is how many reads/writes of random live objects the
 	// mutator performs per allocation — application work that keeps the
 	// live set hot in the VMM's eyes and advances simulated time.
@@ -104,14 +111,17 @@ type Run struct {
 	c     gc.Collector
 	types Types
 	rng   *rand.Rand
+	sink  Sink // nil = unobserved
 
-	immortal []int // root slots
-	pool     []int // root slots, randomly replaced
-	allocd   uint64
-	nAllocs  uint64
-	checksum uint64
-	done     bool
-	started  bool
+	immortal  []int // root slots
+	pool      []int // root slots, randomly replaced
+	largeRing []int // root slots rotating large survivors (Spec.LargeLive)
+	largeIdx  int
+	allocd    uint64
+	nAllocs   uint64
+	checksum  uint64
+	done      bool
+	started   bool
 }
 
 // NewRun prepares a run of spec on collector c. Types must have been
@@ -119,6 +129,10 @@ type Run struct {
 func NewRun(spec Spec, c gc.Collector, types Types, seed int64) *Run {
 	return &Run{spec: spec, c: c, types: types, rng: rand.New(rand.NewSource(seed))}
 }
+
+// SetSink attaches an event observer (an allocation-trace recorder).
+// Must be called before the first Step.
+func (r *Run) SetSink(s Sink) { r.sink = s }
 
 // avgObjBytes estimates the size mix's mean object size.
 func (r *Run) avgObjBytes() int {
@@ -155,6 +169,15 @@ func (r *Run) start() {
 		slot, _ := r.allocOne()
 		r.pool[i] = slot
 	}
+	if k := r.spec.LargeLive; k > 0 {
+		r.largeRing = make([]int, k)
+		for i := range r.largeRing {
+			r.largeRing[i] = r.c.Roots().Add(mem.Nil)
+			if r.sink != nil {
+				r.sink.RootAddNil(r.largeRing[i])
+			}
+		}
+	}
 }
 
 // allocOne allocates one object from the size mix, fills its data words,
@@ -162,6 +185,9 @@ func (r *Run) start() {
 func (r *Run) allocOne() (slot int, size int) {
 	o, sz := r.allocRaw()
 	slot = r.c.Roots().Add(o)
+	if r.sink != nil {
+		r.sink.RootAdd(slot)
+	}
 	return slot, sz
 }
 
@@ -187,15 +213,22 @@ func (r *Run) allocRaw() (objmodel.Ref, int) {
 		words += r.rng.Intn(b.MaxWords - b.MinWords + 1)
 	}
 	var o objmodel.Ref
+	kind := AllocNode
 	if b.Array {
 		o = r.c.Alloc(r.types.DataArr, words)
+		kind = AllocDataArr
 	} else {
 		o = r.c.Alloc(r.types.Node, 0)
 		words = 4
 	}
 	// Initialize a couple of data words (application writes).
+	initIdx, initVal, hasInit := 0, uint64(0), false
 	if words > 0 {
-		r.c.WriteData(o, dataIndexFor(b, 0), r.rng.Uint64())
+		initIdx, initVal, hasInit = dataIndexFor(b, 0), r.rng.Uint64(), true
+		r.c.WriteData(o, initIdx, initVal)
+	}
+	if r.sink != nil {
+		r.sink.Alloc(kind, words, hasInit, initIdx, initVal)
 	}
 	r.allocd += uint64(objmodel.HeaderBytes + words*mem.WordSize)
 	r.nAllocs++
@@ -236,13 +269,31 @@ func (r *Run) Step(quantum int) bool {
 		}
 		if r.spec.LargeEvery > 0 && r.nAllocs%uint64(r.spec.LargeEvery) == uint64(r.spec.LargeEvery)-1 {
 			o := r.c.Alloc(r.types.DataArr, r.spec.LargeWords)
-			r.c.WriteData(o, 0, r.rng.Uint64())
+			v := r.rng.Uint64()
+			r.c.WriteData(o, 0, v)
+			if r.sink != nil {
+				r.sink.Alloc(AllocDataArr, r.spec.LargeWords, true, 0, v)
+			}
 			r.allocd += uint64(objmodel.HeaderBytes + r.spec.LargeWords*mem.WordSize)
 			r.nAllocs++
 			if r.rng.Float64() >= r.spec.TempFrac {
-				// Long-lived large object: replace a pool entry.
-				i := r.rng.Intn(len(r.pool))
-				r.c.Roots().Set(r.pool[i], o)
+				if len(r.largeRing) > 0 {
+					// Long-lived large object: rotate it through the
+					// ring, retiring the oldest surviving buffer.
+					slot := r.largeRing[r.largeIdx%len(r.largeRing)]
+					r.largeIdx++
+					r.c.Roots().Set(slot, o)
+					if r.sink != nil {
+						r.sink.RootSet(slot)
+					}
+				} else {
+					// Long-lived large object: replace a pool entry.
+					i := r.rng.Intn(len(r.pool))
+					r.c.Roots().Set(r.pool[i], o)
+					if r.sink != nil {
+						r.sink.RootSet(r.pool[i])
+					}
+				}
 			}
 		}
 		o, _ := r.allocRaw()
@@ -250,24 +301,46 @@ func (r *Run) Step(quantum int) bool {
 			// Survives: enters the pool, displacing a random entry.
 			i := r.rng.Intn(len(r.pool))
 			r.c.Roots().Set(r.pool[i], o)
+			if r.sink != nil {
+				r.sink.RootSet(r.pool[i])
+			}
 		}
 		// Application work: touch random live objects.
 		for w := 0; w < r.spec.WorkPerAlloc; w++ {
 			s := r.randomLive()
 			obj := r.c.Roots().Get(s)
-			v := r.c.ReadData(obj, r.dataIndexOf(obj))
+			ri := r.dataIndexOf(obj)
+			v := r.c.ReadData(obj, ri)
 			r.checksum = r.checksum*31 + v
 			if w&3 == 0 {
-				r.c.WriteData(obj, r.dataIndexOf(obj), v+1)
+				wi := r.dataIndexOf(obj)
+				r.c.WriteData(obj, wi, v+1)
+				if r.sink != nil {
+					r.sink.Work(s, ri, true, wi)
+				}
+			} else if r.sink != nil {
+				r.sink.Work(s, ri, false, 0)
 			}
 		}
 		// Pointer stores between live objects.
 		if r.spec.LinkEvery > 0 && r.nAllocs%uint64(r.spec.LinkEvery) == 0 {
-			src := r.c.Roots().Get(r.randomLive())
-			dst := r.c.Roots().Get(r.randomLive())
-			if r.refSlots(src) > 0 {
-				r.c.WriteRef(src, r.rng.Intn(r.refSlots(src)), dst)
+			ss, ds := r.randomLive(), r.randomLive()
+			src := r.c.Roots().Get(ss)
+			dst := r.c.Roots().Get(ds)
+			if n := r.refSlots(src); n > 0 {
+				i := r.rng.Intn(n)
+				r.c.WriteRef(src, i, dst)
+				if r.sink != nil {
+					r.sink.Link(ss, ds, true, i)
+				}
+			} else if r.sink != nil {
+				// Still an event: refSlots read the source's header,
+				// which touched its page on the simulated machine.
+				r.sink.Link(ss, ds, false, 0)
 			}
+		}
+		if r.sink != nil {
+			r.sink.StepEnd()
 		}
 	}
 	return true
@@ -295,6 +368,9 @@ func (r *Run) refSlots(obj objmodel.Ref) int {
 
 // Done reports whether the allocation budget is exhausted.
 func (r *Run) Done() bool { return r.done }
+
+// Err implements Workload; the generator cannot fail.
+func (r *Run) Err() error { return nil }
 
 // Finish returns the run summary.
 func (r *Run) Finish() Result {

@@ -31,12 +31,31 @@ var pointerMix = []SizeBand{
 	{Weight: 15, Array: true, MinWords: 4, MaxWords: 24},
 }
 
+// compressMix: LZW compression works over fixed-size structures — code
+// table entries and block-sized I/O chunks — not a smear of array sizes.
+// The two fixed array sizes keep the live pool in a handful of segregated
+// size classes, so the mature space's per-class partial-superpage tail
+// stays small relative to the live data (a smeared mix at this live-set
+// size strands a mostly-empty superpage in every class it touches).
+var compressMix = []SizeBand{
+	{Weight: 25, Array: false},                            // table nodes
+	{Weight: 50, Array: true, MinWords: 16, MaxWords: 16}, // code strings
+	{Weight: 25, Array: true, MinWords: 64, MaxWords: 64}, // I/O chunks
+}
+
 // Programs is the full benchmark suite, in Table 1 order.
 var Programs = []Spec{
 	{
 		Name: "compress", TotalAlloc: 109_190_172, MinHeap: 16_777_216,
-		LiveFrac: 0.45, TempFrac: 0.80, Sizes: arrayMix,
-		LargeEvery: 400, LargeWords: 16384, // the big compression buffers
+		LiveFrac: 0.45, TempFrac: 0.80, Sizes: compressMix,
+		// The compression buffers: one input and one output buffer live
+		// at a time, reused block-by-block (LargeLive ring), so surviving
+		// buffers retire their predecessors instead of piling up in the
+		// pool with open-ended lifetimes. Blocks are sized and spaced so
+		// the LOS allocation rate (words per allocation) matches the old
+		// spec while the transient footprint a single in-flight block
+		// adds stays a few pages.
+		LargeEvery: 50, LargeWords: 2048, LargeLive: 2,
 		WorkPerAlloc: 24, LinkEvery: 64,
 	},
 	{

@@ -26,7 +26,19 @@ import (
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
+	"bookmarkgc/internal/workload"
 )
+
+// TraceRef points a job at an allocation-trace file (internal/workload)
+// in place of Program's generator. Name and Hash enter the job's
+// canonical hash — the cache keys on what the trace contains; Path is
+// where this process finds the bytes, which is location, not identity,
+// so it stays out of the hash (and out of the persisted cache).
+type TraceRef struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+	Path string `json:"-"`
+}
 
 // Job is one fully-specified simulation: a pure value, serializable, and
 // hashable. Field order is load-bearing — the canonical hash is computed
@@ -53,6 +65,11 @@ type Job struct {
 	// along in the Result. Counting never advances the simulated clock,
 	// but it changes what a Result carries, so it is part of the hash.
 	Counters bool `json:"counters,omitempty"`
+
+	// Trace, when non-nil, replays the referenced allocation trace
+	// instead of running Program's generator. Program may be left zero
+	// (or set for display; it still participates in the hash).
+	Trace *TraceRef `json:"trace,omitempty"`
 }
 
 // Hash returns the job's canonical content hash: hex SHA-256 of its JSON
@@ -78,7 +95,25 @@ func (j Job) validate() error {
 	if j.JVMs > 1 && j.Chaos != nil {
 		return fmt.Errorf("runner: multi-JVM jobs do not support chaos injection")
 	}
+	if j.Trace != nil && j.Trace.Path == "" {
+		return fmt.Errorf("runner: trace %q has no resolved path on this machine", j.Trace.Name)
+	}
 	return nil
+}
+
+// openTrace resolves a job's trace reference, insisting the bytes on
+// disk still match the hash the job (and so the result cache) is keyed
+// by — a stale or swapped file must not impersonate the trace.
+func openTrace(ref *TraceRef) (mutator.Source, error) {
+	h, err := workload.HashFile(ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	if h != ref.Hash {
+		return nil, fmt.Errorf("runner: trace %s at %s has content hash %.12s…, job expects %.12s…",
+			ref.Name, ref.Path, h, ref.Hash)
+	}
+	return workload.Open(ref.Path)
 }
 
 // Execute runs one job to completion on the calling goroutine and never
@@ -109,6 +144,15 @@ func execute(j Job) *Result {
 	if j.Counters {
 		ctrs = trace.NewCounters()
 	}
+	var src mutator.Source
+	if j.Trace != nil {
+		s, err := openTrace(j.Trace)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		src = s
+	}
 	if j.JVMs > 1 {
 		rs := sim.RunMulti(sim.MultiConfig{
 			Collector: j.Collector,
@@ -120,6 +164,7 @@ func execute(j Job) *Result {
 			Seed:      j.Seed,
 			Costs:     j.Costs,
 			Counters:  ctrs,
+			Workload:  src,
 		})
 		if len(rs) != j.JVMs {
 			// RunMulti signals an invalid configuration with a single
@@ -145,6 +190,7 @@ func execute(j Job) *Result {
 			Costs:     j.Costs,
 			Chaos:     j.Chaos,
 			Counters:  ctrs,
+			Workload:  src,
 		})
 		res.Runs = append(res.Runs, newRunData(r))
 	}

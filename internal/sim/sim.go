@@ -48,6 +48,15 @@ const (
 // AllKinds lists every collector for sweeps.
 var AllKinds = []CollectorKind{BC, GenMS, GenCopy, CopyMS, MarkSweep, SemiSpace}
 
+// KnownKinds lists every implemented collector kind, including the
+// fixed-nursery, advisor, and ablation variants — the inventory CLIs
+// enumerate (gcsim -list).
+var KnownKinds = []CollectorKind{
+	BC, BCResizeOnly, GenMS, GenCopy, CopyMS, MarkSweep, SemiSpace,
+	GenMSFixed, GenCopyFixed, BCNoAggressive, BCPointerFree, BCRegrow,
+	GenMSAdvisor,
+}
+
 // fixedNursery sizes Figure 5(b)'s fixed nursery: 4 MB against the
 // paper's 77 MB heap, kept proportional so scaled-down experiments
 // exercise the same policy.
@@ -213,11 +222,13 @@ func (s *SignalMem) grow() {
 
 // newInstance assembles one JVM on machine v: its environment (named
 // name), trace and counter wiring, declared types, collector, and
-// stepable mutator run. Run and RunMulti both build instances through
+// stepable workload. Run and RunMulti both build instances through
 // it so their setup paths cannot drift apart. A nil tr keeps the
-// environment's default no-op tracer.
+// environment's default no-op tracer. src is the workload factory —
+// a mutator.Spec for the generated programs, or a trace source
+// (internal/workload) for replayed ones.
 func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
-	prog mutator.Spec, seed int64, tr trace.Tracer, ctrs *trace.Counters) (*gc.Env, gc.Collector, *mutator.Run, error) {
+	src mutator.Source, seed int64, tr trace.Tracer, ctrs *trace.Counters) (*gc.Env, gc.Collector, mutator.Workload, error) {
 	env := gc.NewEnv(v, name, heapBytes)
 	if tr != nil {
 		env.Trace = tr
@@ -228,7 +239,11 @@ func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return env, col, mutator.NewRun(prog, col, types, seed), nil
+	wl, err := src.NewWorkload(col, types, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return env, col, wl, nil
 }
 
 // RunConfig describes one JVM-on-one-machine experiment.
@@ -254,10 +269,24 @@ type RunConfig struct {
 	// mutator then runs in quanta with injector safepoints between them,
 	// so delayed/reordered notifications have delivery points.
 	Chaos *fault.Config
+
+	// Workload, when non-nil, supplies the mutator events instead of
+	// Program's generator — a recorded or synthesized allocation trace
+	// (internal/workload). Program is then informational only.
+	Workload mutator.Source
+
+	// Sink observes the generator's event stream (an allocation-trace
+	// recorder). Observation happens on the host: it never advances the
+	// simulated clock, so recorded runs measure identically to
+	// unrecorded ones. Ignored for workloads that are not generators.
+	Sink mutator.Sink
 }
 
 // chaosQuantum is the mutator step size between injector safepoints.
 const chaosQuantum = 512
+
+// runQuantum is the step size for uninstrumented single-JVM runs.
+const runQuantum = 4096
 
 // Result is the measured outcome of one run.
 type Result struct {
@@ -293,10 +322,19 @@ func Run(cfg RunConfig) (res Result) {
 		cfg.Trace.SetClock(clock)
 		tr = cfg.Trace
 	}
+	src := mutator.Source(cfg.Program)
+	if cfg.Workload != nil {
+		src = cfg.Workload
+	}
 	env, col, run, err := newInstance(v, string(cfg.Collector), cfg.Collector,
-		cfg.HeapBytes, cfg.Program, cfg.Seed, tr, cfg.Counters)
+		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters)
 	if err != nil {
 		return Result{Config: cfg, Err: err}
+	}
+	if cfg.Sink != nil {
+		if sw, ok := run.(interface{ SetSink(mutator.Sink) }); ok {
+			sw.SetSink(cfg.Sink)
+		}
 	}
 	var inj *fault.Injector
 	if cfg.Chaos != nil {
@@ -339,16 +377,17 @@ func Run(cfg RunConfig) (res Result) {
 			res = finish(run.Finish(), oom)
 		}
 	}()
-	var mres mutator.Result
 	if inj != nil {
 		for run.Step(chaosQuantum) {
 			inj.Safepoint()
 		}
-		mres = run.Finish()
 	} else {
-		mres = run.RunToCompletion()
+		for run.Step(runQuantum) {
+		}
 	}
-	return finish(mres, nil)
+	// A workload can end by failing internally (a corrupt or truncated
+	// trace); that is a run failure, same as out-of-memory.
+	return finish(run.Finish(), run.Err())
 }
 
 // MultiConfig describes n identical JVMs sharing one machine (§5.3.3).
@@ -366,6 +405,10 @@ type MultiConfig struct {
 	// Counters is one registry shared by every JVM. Both are optional.
 	Trace    *trace.Recorder
 	Counters *trace.Counters
+
+	// Workload, when non-nil, supplies every JVM's events instead of
+	// Program's generator; each instance replays its own stream.
+	Workload mutator.Source
 }
 
 // RunMulti round-robins the JVMs on one simulated CPU until all complete,
@@ -385,11 +428,15 @@ func RunMulti(cfg MultiConfig) []Result {
 	type jvm struct {
 		env    *gc.Env
 		col    gc.Collector
-		run    *mutator.Run
+		run    mutator.Workload
 		failed error
 	}
 	if cfg.Trace != nil {
 		cfg.Trace.SetClock(clock)
+	}
+	src := mutator.Source(cfg.Program)
+	if cfg.Workload != nil {
+		src = cfg.Workload
 	}
 	jvms := make([]*jvm, cfg.JVMs)
 	for i := range jvms {
@@ -399,7 +446,7 @@ func RunMulti(cfg MultiConfig) []Result {
 			tr = cfg.Trace.Thread(name)
 		}
 		env, col, run, err := newInstance(v, name, cfg.Collector,
-			cfg.HeapBytes, cfg.Program, cfg.Seed+int64(i), tr, cfg.Counters)
+			cfg.HeapBytes, src, cfg.Seed+int64(i), tr, cfg.Counters)
 		if err != nil {
 			// Same kind for every JVM: the whole configuration is invalid.
 			return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,
@@ -436,6 +483,9 @@ func RunMulti(cfg MultiConfig) []Result {
 			if step(j) {
 				running++
 			} else {
+				if err := j.run.Err(); err != nil && j.failed == nil {
+					j.failed = err
+				}
 				j.col.Stats().Timeline.End = clock.Now()
 			}
 		}

@@ -115,6 +115,22 @@ const (
 	// CRunnerJobTimeouts counts jobs abandoned at the per-job deadline.
 	CRunnerJobTimeouts
 
+	// Workload counters (internal/workload): allocation-trace recording
+	// and replay traffic.
+
+	// CWorkloadEventsRecorded counts mutator events captured to a trace.
+	CWorkloadEventsRecorded
+	// CWorkloadEventsReplayed counts trace events applied by a replayer.
+	CWorkloadEventsReplayed
+	// CWorkloadAllocsReplayed counts allocations driven from a trace.
+	CWorkloadAllocsReplayed
+	// CWorkloadFreeHints counts advisory free-hint events seen on replay.
+	CWorkloadFreeHints
+	// CWorkloadBlocksWritten counts CRC-framed trace blocks flushed.
+	CWorkloadBlocksWritten
+	// CWorkloadBlocksRead counts CRC-framed trace blocks decoded.
+	CWorkloadBlocksRead
+
 	numCounters
 )
 
@@ -160,6 +176,12 @@ var counterNames = [numCounters]string{
 	CRunnerCacheHits:       "runner_cache_hits",
 	CRunnerJobErrors:       "runner_job_errors",
 	CRunnerJobTimeouts:     "runner_job_timeouts",
+	CWorkloadEventsRecorded: "workload_events_recorded",
+	CWorkloadEventsReplayed: "workload_events_replayed",
+	CWorkloadAllocsReplayed: "workload_allocs_replayed",
+	CWorkloadFreeHints:      "workload_free_hints",
+	CWorkloadBlocksWritten:  "workload_blocks_written",
+	CWorkloadBlocksRead:     "workload_blocks_read",
 }
 
 func (c Counter) String() string {

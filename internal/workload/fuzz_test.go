@@ -1,0 +1,89 @@
+package workload_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"bookmarkgc/internal/workload"
+)
+
+// fuzzSeeds builds the seed corpus: one trace per synthesizer model plus
+// degenerate inputs around the framing layer.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, model := range workload.Models {
+		var buf bytes.Buffer
+		if err := workload.Synthesize(&buf, workload.SynthParams{
+			Model: model, Allocs: 400, Live: 40, Seed: 11,
+		}); err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return append(seeds,
+		nil,
+		[]byte("GCWL"),
+		[]byte{'G', 'C', 'W', 'L', 1},
+		[]byte{'G', 'C', 'W', 'L', 1, 0xff, 0xff, 0xff, 0xff, 0x0f},
+	)
+}
+
+// FuzzDecoder feeds arbitrary bytes through the full decode stack
+// (header, block framing, event decoding, structural verification). The
+// contract under fuzz: never panic, never loop forever, and classify
+// every failure as an error — a mutated input must not verify as a
+// different valid trace silently (the CRC framing makes surviving a
+// mutation astronomically unlikely; Verify's invariants catch the rest).
+func FuzzDecoder(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rd, err := workload.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			requireClean(t, err)
+			return
+		}
+		if _, err := workload.Verify(rd); err != nil {
+			requireClean(t, err)
+		}
+	})
+}
+
+// requireClean asserts an error is one of the package's declared failure
+// modes, not an escaped internal error.
+func requireClean(t *testing.T, err error) {
+	t.Helper()
+	if errors.Is(err, workload.ErrCorrupt) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return
+	}
+	t.Fatalf("decode failed outside the declared error modes: %v", err)
+}
+
+// TestEveryByteFlipDetected is the deterministic cousin of FuzzDecoder:
+// flip each byte of a valid trace (one bit per position) and require the
+// decoder to reject the damage. Every byte of the format is covered by
+// the magic, the version check, block length framing, a payload CRC, or
+// the CRC field itself, so no single-bit flip may survive verification.
+func TestEveryByteFlipDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := workload.Synthesize(&buf, workload.SynthParams{
+		Model: "markov", Allocs: 300, Live: 30, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := verifyBytes(raw); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+	mut := make([]byte, len(raw))
+	for i := range raw {
+		copy(mut, raw)
+		mut[i] ^= 1 << (i % 8)
+		if _, err := verifyBytes(mut); err == nil {
+			t.Fatalf("bit flip at byte %d/%d went undetected", i, len(raw))
+		}
+	}
+}

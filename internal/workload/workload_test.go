@@ -1,0 +1,161 @@
+package workload_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/workload"
+)
+
+// synthTrace synthesizes a small trace into memory.
+func synthTrace(t *testing.T, model string, allocs, live int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := workload.Synthesize(&buf, workload.SynthParams{
+		Model: model, Allocs: allocs, Live: live, Seed: seed,
+	}); err != nil {
+		t.Fatalf("synthesize %s: %v", model, err)
+	}
+	return buf.Bytes()
+}
+
+// writeTrace drops raw trace bytes into a temp file and returns its path.
+func writeTrace(t *testing.T, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.gctrace")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func verifyBytes(raw []byte) (*workload.Stats, error) {
+	rd, err := workload.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return workload.Verify(rd)
+}
+
+func TestSynthesizeVerify(t *testing.T) {
+	for _, model := range workload.Models {
+		raw := synthTrace(t, model, 5000, 300, 7)
+		st, err := verifyBytes(raw)
+		if err != nil {
+			t.Fatalf("%s: verify: %v", model, err)
+		}
+		if st.Allocs != 5000 {
+			t.Errorf("%s: %d allocs, want 5000 (one per iteration)", model, st.Allocs)
+		}
+		if st.Steps == 0 || st.Events == 0 {
+			t.Errorf("%s: empty trace: %+v", model, st)
+		}
+		if st.Footer.HasChecksum {
+			t.Errorf("%s: synthesized trace claims a data checksum", model)
+		}
+		if st.Meta.Source != "synth:"+model {
+			t.Errorf("%s: source = %q", model, st.Meta.Source)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := synthTrace(t, "markov", 2000, 100, 42)
+	b := synthTrace(t, "markov", 2000, 100, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same params produced different trace bytes")
+	}
+	c := synthTrace(t, "markov", 2000, 100, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical trace bytes")
+	}
+}
+
+func TestSynthesizeUnknownModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := workload.Synthesize(&buf, workload.SynthParams{Model: "nope"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestSynthReplay replays each model's trace through two collectors; a
+// synthesized stream must satisfy every invariant a replay enforces.
+func TestSynthReplay(t *testing.T) {
+	for _, model := range workload.Models {
+		path := writeTrace(t, synthTrace(t, model, 5000, 300, 7))
+		src, err := workload.Open(path)
+		if err != nil {
+			t.Fatalf("%s: open: %v", model, err)
+		}
+		for _, col := range []sim.CollectorKind{sim.BC, sim.GenMS} {
+			r := sim.Run(sim.RunConfig{
+				Collector: col,
+				HeapBytes: 8 << 20, PhysBytes: 64 << 20,
+				Workload: src,
+			})
+			if r.Err != nil {
+				t.Errorf("%s under %s: %v", model, col, r.Err)
+			}
+			if r.Mutator.Allocations != 5000 {
+				t.Errorf("%s under %s: %d allocations", model, col, r.Mutator.Allocations)
+			}
+		}
+	}
+}
+
+func TestReadMetaAndHash(t *testing.T) {
+	raw := synthTrace(t, "ramp", 1000, 50, 3)
+	path := writeTrace(t, raw)
+	meta, err := workload.ReadMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "ramp" || meta.FormatVersion != workload.Version {
+		t.Fatalf("meta = %+v", meta)
+	}
+	h1, err := workload.HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", h1)
+	}
+	raw2 := synthTrace(t, "ramp", 1000, 50, 4)
+	h2, err := workload.HashFile(writeTrace(t, raw2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("different traces hash equal")
+	}
+}
+
+func TestTruncatedTraceFails(t *testing.T) {
+	raw := synthTrace(t, "markov", 1000, 50, 1)
+	for _, cut := range []int{1, 4, 5, len(raw) / 3, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := verifyBytes(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestTrailingDataFails(t *testing.T) {
+	raw := synthTrace(t, "markov", 1000, 50, 1)
+	if _, err := verifyBytes(append(append([]byte{}, raw...), 0x00)); err == nil {
+		t.Fatal("trailing byte after the footer accepted")
+	}
+}
+
+func TestEmptyAndGarbageInput(t *testing.T) {
+	for _, raw := range [][]byte{nil, {0}, []byte("GCWL"), []byte("not a trace at all")} {
+		if _, err := verifyBytes(raw); err == nil {
+			t.Errorf("garbage input %q accepted", raw)
+		}
+	}
+}
