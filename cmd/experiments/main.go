@@ -6,8 +6,9 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale f] [-seed n] [-list] [-counters]
-//	            [-jobs n] [-cache-dir dir] [-resume] [-timeout d]
-//	            [-format text|json] [-bench-out file] [-expect-cached]
+//	            [-jobs n] [-mark-workers n] [-cache-dir dir] [-resume]
+//	            [-timeout d] [-format text|json] [-bench-out file]
+//	            [-expect-cached]
 //
 // Experiment ids: table1, fig2, fig2x, fig3, fig3x, fig4, fig5, fig6,
 // fig7, ablate; "all" runs everything. Scale 1.0 is paper scale (1 GB
@@ -15,7 +16,11 @@
 // runtime.
 //
 // -jobs n       run up to n simulations concurrently (default GOMAXPROCS)
-// -cache-dir d  persist per-job results as JSONL under d ('' disables)
+// -mark-workers n  host threads for each simulation's parallel mark engine
+//
+//	(default GOMAXPROCS); report bytes are bit-identical for any value
+//
+// -cache-dir d  persist per-job results as JSONL under d (” disables)
 // -resume       serve results cached by a previous (or interrupted) run
 // -timeout d    abandon any single job after d wall time (0 = none)
 // -format json  emit reports as one JSON document instead of text tables
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"bookmarkgc/internal/bench"
+	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/runner"
 )
 
@@ -49,6 +55,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		counters = flag.Bool("counters", false, "collect event counters and add them to report notes")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum concurrent simulation jobs")
+		markWkrs = flag.Int("mark-workers", runtime.GOMAXPROCS(0), "host threads per simulation for the parallel mark engine (reports are bit-identical for any value)")
 		cacheDir = flag.String("cache-dir", ".expcache", "directory for the persistent result store ('' disables)")
 		resume   = flag.Bool("resume", false, "reuse results persisted by a previous run in -cache-dir")
 		timeout  = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
@@ -68,6 +75,14 @@ func main() {
 	if *resume && *cacheDir == "" {
 		fail("-resume needs a persistent store; set -cache-dir")
 	}
+	if *markWkrs < 1 {
+		fail("-mark-workers %d must be at least 1", *markWkrs)
+	}
+	// Runner jobs build their own simulation environments, so the mark
+	// worker count travels as the process default. It changes only
+	// host-side parallelism: report bytes and cache keys are unaffected
+	// (DESIGN.md §11), so cached results are shared across worker counts.
+	gc.SetDefaultMarkWorkers(*markWkrs)
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -156,11 +171,13 @@ func main() {
 			Scale:       *scale,
 			Seed:        *seed,
 			Jobs:        *jobs,
+			MarkWorkers: *markWkrs,
 			Cores:       runtime.NumCPU(),
 			Run:         *run,
 			TotalSecs:   totalWall.Seconds(),
 			Executed:    st.Executed,
 			CacheHits:   st.Hits(),
+			DiskHits:    st.DiskHits,
 			Experiments: records,
 		}); err != nil {
 			fail("writing -bench-out: %v", err)
@@ -177,16 +194,24 @@ func main() {
 // file, which holds a JSON array of them — the repo's machine-readable
 // perf trajectory (sequential vs parallel, over time).
 type benchRecord struct {
-	Schema    string  `json:"schema"`
-	UTC       string  `json:"utc"`
-	Scale     float64 `json:"scale"`
-	Seed      int64   `json:"seed"`
-	Jobs      int     `json:"jobs"`
-	Cores     int     `json:"cores"`
-	Run       string  `json:"run"`
-	TotalSecs   float64     `json:"total_wall_secs"`
-	Executed    int         `json:"jobs_executed"`
+	Schema string  `json:"schema"`
+	UTC    string  `json:"utc"`
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	Jobs   int     `json:"jobs"`
+	// MarkWorkers is the -mark-workers value (0 in records written before
+	// the parallel mark engine existed).
+	MarkWorkers int     `json:"mark_workers,omitempty"`
+	Cores       int     `json:"cores"`
+	Run         string  `json:"run"`
+	TotalSecs   float64 `json:"total_wall_secs"`
+	Executed    int     `json:"jobs_executed"`
+	// CacheHits counts all result reuse; DiskHits only the hits served
+	// from a warm persistent store. Memo hits (duplicate jobs within one
+	// sweep) are deterministic and leave wall time comparable; disk hits
+	// make it meaningless, so benchcheck's gates key on DiskHits.
 	CacheHits   int         `json:"cache_hits"`
+	DiskHits    int         `json:"disk_hits"`
 	Experiments []expRecord `json:"experiments"`
 }
 

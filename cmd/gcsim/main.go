@@ -6,22 +6,32 @@
 //
 //	gcsim [-collector BC] [-program pseudojbb] [-heap 77] [-phys 256]
 //	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
-//	      [-runs 1] [-jobs n] [-chaos regime] [-chaos-seed 1]
+//	      [-runs 1] [-jobs n] [-mark-workers n] [-chaos regime] [-chaos-seed 1]
 //	      [-trace out.json] [-trace-format chrome|jsonl] [-counters]
 //
 // -steal f   pins f*heap immediately (steady pressure, Figure 3)
 // -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
 // -jvms n    runs n instances round-robin on one machine (Figure 7)
 // -runs n    sweeps n consecutive seeds (-seed, -seed+1, ...) on the
-//            parallel runner and prints per-seed summaries + aggregates
+//
+//	parallel runner and prints per-seed summaries + aggregates
+//
 // -jobs n    concurrent simulations for -runs (default GOMAXPROCS)
+// -mark-workers n  host threads for the parallel mark engine (default
+//
+//	GOMAXPROCS); results are bit-identical for any value
+//
 // -chaos r   injects kernel faults into the cooperation protocol
-//            (drop, delay, duplicate, reorder, no-notify, reload-storm,
-//            thrash); -chaos-seed drives the injector's PRNG
+//
+//	(drop, delay, duplicate, reorder, no-notify, reload-storm,
+//	thrash); -chaos-seed drives the injector's PRNG
+//
 // -trace f   writes GC phase spans and VM-cooperation events to f
 // -counters  prints the event-counter registry after the run
-// -list      prints the simulator's inventory (programs, collectors,
-//            chaos regimes, synthesizer models, *.gctrace files) and exits
+// -list      prints the simulator's inventory (programs, collectors, mark
+//
+//	counters, chaos regimes, synthesizer models, *.gctrace files)
+//	and exits
 package main
 
 import (
@@ -59,6 +69,7 @@ func main() {
 		jvms      = flag.Int("jvms", 1, "number of simultaneous JVM instances")
 		runs      = flag.Int("runs", 1, "sweep this many consecutive seeds and print aggregates")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum concurrent simulations for -runs")
+		markWkrs  = flag.Int("mark-workers", runtime.GOMAXPROCS(0), "host threads for the parallel mark engine (results are bit-identical for any value)")
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
 		chaos     = flag.String("chaos", "", "inject kernel faults: drop, delay, duplicate, reorder, no-notify, reload-storm, thrash")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's PRNG")
@@ -96,6 +107,9 @@ func main() {
 	if *runs < 1 {
 		fail("-runs %d must be at least 1", *runs)
 	}
+	if *markWkrs < 1 {
+		fail("-mark-workers %d must be at least 1", *markWkrs)
+	}
 	if *runs > 1 {
 		if *bmu || *traceOut != "" || *counters {
 			fail("-runs is a summary sweep; -bmu, -trace and -counters need a single run")
@@ -124,6 +138,12 @@ func main() {
 		}
 		chaosCfg = &cfg
 	}
+
+	// The seed-sweep runner's jobs build their own environments, so the
+	// worker count travels as the process default; the direct sim.Run /
+	// RunMulti calls below also pass it explicitly. Simulation output is
+	// bit-identical for any value (DESIGN.md §11).
+	gc.SetDefaultMarkWorkers(*markWkrs)
 
 	prog, ok := mutator.ByName(*program)
 	if !ok {
@@ -159,7 +179,7 @@ func main() {
 		base := sim.Run(sim.RunConfig{
 			Collector: sim.CollectorKind(*collector),
 			Program:   prog, HeapBytes: heap, PhysBytes: phys,
-			Seed: *seed,
+			Seed: *seed, MarkWorkers: *markWkrs,
 		})
 		checkErr(base.Err)
 		avail := mem.RoundUpPage(uint64(*availMB * *scale * (1 << 20)))
@@ -184,7 +204,7 @@ func main() {
 		results := sim.RunMulti(sim.MultiConfig{
 			Collector: sim.CollectorKind(*collector),
 			Program:   prog, HeapBytes: heap, PhysBytes: phys,
-			JVMs: *jvms, Seed: *seed,
+			JVMs: *jvms, Seed: *seed, MarkWorkers: *markWkrs,
 			Trace: rec, Counters: reg,
 		})
 		for i, r := range results {
@@ -202,7 +222,8 @@ func main() {
 		Collector: sim.CollectorKind(*collector),
 		Program:   prog, HeapBytes: heap, PhysBytes: phys,
 		Pressure: pressure, Seed: *seed, Chaos: chaosCfg,
-		Trace: rec, Counters: reg,
+		MarkWorkers: *markWkrs,
+		Trace:       rec, Counters: reg,
 	})
 	checkErr(r.Err)
 	fmt.Println(summary(r))
@@ -220,8 +241,9 @@ func main() {
 }
 
 // listInventory prints everything the simulator can run: the benchmark
-// programs (Table 1), the collector kinds, the chaos regimes, the trace
-// synthesizer models, and any recorded traces in the current directory.
+// programs (Table 1), the collector kinds, the parallel mark counter
+// group, the chaos regimes, the trace synthesizer models, and any
+// recorded traces in the current directory.
 func listInventory() {
 	fmt.Println("programs (-program; sizes at paper scale 1.0):")
 	for _, p := range mutator.Programs {
@@ -231,6 +253,10 @@ func listInventory() {
 	fmt.Println("collectors (-collector):")
 	for _, k := range sim.KnownKinds {
 		fmt.Printf("  %s\n", k)
+	}
+	fmt.Println("parallel mark counters (-counters; engine in DESIGN.md §11):")
+	for _, c := range trace.MarkCounters() {
+		fmt.Printf("  %s\n", c)
 	}
 	fmt.Printf("chaos regimes (-chaos): %s\n", strings.Join(fault.Regimes(), ", "))
 	fmt.Printf("trace synthesizer models (gctrace gen -model): %s\n",

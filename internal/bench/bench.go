@@ -48,8 +48,8 @@ func (o Options) bytes(paperBytes float64) uint64 {
 
 // Report is one table or figure's data, printable as aligned text.
 type Report struct {
-	ID     string `json:"id"` // "table1", "fig2", ...
-	Title  string `json:"title"`
+	ID     string     `json:"id"` // "table1", "fig2", ...
+	Title  string     `json:"title"`
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`

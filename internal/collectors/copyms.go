@@ -110,17 +110,23 @@ func (c *CopyMS) Collect(bool) {
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
-	for {
-		o, ok := work.Pop()
-		if !ok {
-			break
-		}
-		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
-			if nw := forward(tgt); nw != tgt {
-				c.E.Space.WriteAddr(slot, nw)
+	// Parallel work-stealing trace (DESIGN.md §11): workers mark mature
+	// objects in place and defer eden edges, which forward evacuates
+	// sequentially between rounds.
+	cfg := &gc.ParMarkConfig{
+		Epoch: epoch,
+		Classify: func(tgt objmodel.Ref) gc.EdgeAction {
+			if c.eden.Contains(tgt) {
+				return gc.EdgeDefer
 			}
-		})
+			return gc.EdgeMark
+		},
 	}
+	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, _ *gc.WorkList) {
+		if nw := forward(e.Target); nw != e.Target {
+			c.E.Space.WriteAddr(e.Slot, nw)
+		}
+	})
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
 	c.eden.Reset()

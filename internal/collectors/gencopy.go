@@ -15,6 +15,13 @@ import (
 // runs out of room sooner than GenMS in small heaps (§5.2). With
 // FixedNurseryPages set it becomes the fixed-nursery variant of
 // Figure 5(b).
+//
+// Both of GenCopy's collections are pure copying passes (nursery
+// evacuation and the mature semispace flip), so neither uses the
+// parallel mark engine: a Cheney scan assigns to-space addresses as a
+// side effect of visiting, and that assignment order must stay a pure
+// function of scan order to keep runs deterministic (DESIGN.md §11
+// parallelizes only in-place marking).
 type GenCopy struct {
 	gc.Base
 	nursery *heap.BumpSpace

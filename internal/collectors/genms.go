@@ -200,17 +200,26 @@ func (c *GenMS) fullGC() {
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = c.fullForward(*slot, &work, epoch)
 	})
-	for {
-		o, ok := work.Pop()
-		if !ok {
-			break
-		}
-		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
-			if nw := c.fullForward(tgt, &work, epoch); nw != tgt {
-				c.E.Space.WriteAddr(slot, nw)
+	// Parallel work-stealing trace (DESIGN.md §11): mature objects are
+	// marked in place by the workers; edges into the nursery are deferred
+	// and evacuated sequentially between rounds, exactly as fullForward
+	// would have handled them.
+	cfg := &gc.ParMarkConfig{
+		Epoch: epoch,
+		Classify: func(tgt objmodel.Ref) gc.EdgeAction {
+			if c.nursery.Contains(tgt) {
+				return gc.EdgeDefer
 			}
-		})
+			return gc.EdgeMark
+		},
 	}
+	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+		dst := c.copyToMature(e.Target, w)
+		objmodel.SetMark(c.E.Space, dst, epoch)
+		if dst != e.Target {
+			c.E.Space.WriteAddr(e.Slot, dst)
+		}
+	})
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
 	c.nursery.Reset()

@@ -64,7 +64,9 @@ func (c *MarkSweep) Collect(bool) {
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		gc.MarkStep(c.E, &work, *slot, epoch)
 	})
-	gc.MarkTrace(c.E, &work, epoch, nil)
+	// Parallel work-stealing trace; in-place marking only, no deferred
+	// edges (DESIGN.md §11).
+	c.E.Marker().Mark(&gc.ParMarkConfig{Epoch: epoch}, &work, nil)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
 }

@@ -627,22 +627,35 @@ func (c *BC) fullGC() {
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
-	for {
-		o, ok := work.Pop()
-		if !ok {
-			break
-		}
-		if !c.pageOK(o.Page()) {
-			// Evicted while queued: its fields were scanned and its
-			// targets bookmarked (and re-queued) when the page left.
-			continue
-		}
-		c.scanLive(o, func(slot mem.Addr, tgt objmodel.Ref) {
-			if nw := forward(tgt); nw != tgt {
-				c.E.Space.WriteAddr(slot, nw)
+	// Parallel work-stealing trace (DESIGN.md §11) with scanLive's edge
+	// policy: slots and targets on evicted pages are skipped, nursery
+	// targets are deferred for sequential evacuation between rounds. The
+	// residency books only change during the sequential replay/evacuation
+	// steps (eviction handlers fire there, injecting into curWork — this
+	// same worklist — as next-round seeds), so pageOK is stable while the
+	// workers run. SkipObj re-applies the evicted-while-queued check each
+	// round, like the sequential pop loop did.
+	cfg := &gc.ParMarkConfig{
+		Epoch:  epoch,
+		SlotOK: func(slot mem.Addr) bool { return c.pageOK(slot.Page()) },
+		Classify: func(tgt objmodel.Ref) gc.EdgeAction {
+			if !c.pageOK(tgt.Page()) {
+				return gc.EdgeSkip // never touch evicted pages
 			}
-		})
+			if c.nursery.Contains(tgt) {
+				return gc.EdgeDefer
+			}
+			return gc.EdgeMark
+		},
+		SkipObj: func(o objmodel.Ref) bool { return !c.pageOK(o.Page()) },
 	}
+	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+		dst := c.copyToMature(e.Target, w)
+		objmodel.SetMark(c.E.Space, dst, epoch)
+		if dst != e.Target {
+			c.E.Space.WriteAddr(e.Slot, dst)
+		}
+	})
 	c.E.Trace.End(trace.PhaseMark)
 	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)

@@ -46,24 +46,27 @@ func (c *BC) compact() {
 		}
 	}
 	c.Roots().ForEach(func(slot *mem.Addr) { markRoot(*slot) })
-	for {
-		o, ok := work.Pop()
-		if !ok {
-			break
-		}
-		if c.nursery.Contains(o) {
-			gc.ScanObject(c.E.Space, c.E.Types, o, func(_ mem.Addr, tgt objmodel.Ref) { markRoot(tgt) })
-			continue
-		}
-		if !c.pageOK(o.Page()) {
-			continue // evicted while queued; covered by its page's processing
-		}
-		c.scanLive(o, func(_ mem.Addr, tgt objmodel.Ref) {
+	// Parallel work-stealing census trace (DESIGN.md §11): a pure marking
+	// pass, so there are no deferred edges — nursery objects are marked in
+	// place and scanned like everything else. Nursery slots are always
+	// readable (the sequential pass used an unfiltered ScanObject there);
+	// for mature objects the scanLive policy applies.
+	cfg := &gc.ParMarkConfig{
+		Epoch: epoch,
+		SlotOK: func(slot mem.Addr) bool {
+			return c.nursery.Contains(slot) || c.pageOK(slot.Page())
+		},
+		Classify: func(tgt objmodel.Ref) gc.EdgeAction {
 			if c.nursery.Contains(tgt) || c.pageOK(tgt.Page()) {
-				gc.MarkStep(c.E, &work, tgt, epoch)
+				return gc.EdgeMark
 			}
-		})
+			return gc.EdgeSkip
+		},
+		SkipObj: func(o objmodel.Ref) bool {
+			return !c.nursery.Contains(o) && !c.pageOK(o.Page())
+		},
 	}
+	c.E.Marker().Mark(cfg, &work, nil)
 
 	c.E.Trace.End(trace.PhaseMark)
 

@@ -66,17 +66,29 @@ func (c *BC) failSafe() {
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
-	for {
-		o, ok := work.Pop()
-		if !ok {
-			break
-		}
-		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
-			if nw := forward(tgt); nw != tgt {
-				c.E.Space.WriteAddr(slot, nw)
+	// Parallel work-stealing trace (DESIGN.md §11) with no residency
+	// filtering — the fail-safe follows every reference. Workers read the
+	// heap's backing words raw (eviction preserves page content), and the
+	// canonical touch replay is what pays the reload faults; nursery edges
+	// are deferred and evacuated sequentially between rounds. curWork
+	// stays nil here, matching the sequential fail-safe: the handler does
+	// not inject mark work during this collection.
+	cfg := &gc.ParMarkConfig{
+		Epoch: epoch,
+		Classify: func(tgt objmodel.Ref) gc.EdgeAction {
+			if c.nursery.Contains(tgt) {
+				return gc.EdgeDefer
 			}
-		})
+			return gc.EdgeMark
+		},
 	}
+	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+		dst := c.copyToMature(e.Target, w)
+		objmodel.SetMark(c.E.Space, dst, epoch)
+		if dst != e.Target {
+			c.E.Space.WriteAddr(e.Slot, dst)
+		}
+	})
 	c.E.Trace.End(trace.PhaseMark)
 	// Sweep everything, residency regardless.
 	c.E.Trace.Begin(trace.PhaseSweep)

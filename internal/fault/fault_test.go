@@ -56,7 +56,7 @@ type recHandler struct {
 	reloads []mem.PageID
 }
 
-func (r *recHandler) EvictionScheduled(p mem.PageID)  { r.evicts = append(r.evicts, p) }
+func (r *recHandler) EvictionScheduled(p mem.PageID)    { r.evicts = append(r.evicts, p) }
 func (r *recHandler) PageReloaded(p mem.PageID, _ bool) { r.reloads = append(r.reloads, p) }
 
 // driveStream feeds a fixed synthetic notification sequence through an

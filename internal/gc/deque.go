@@ -1,0 +1,144 @@
+package gc
+
+import (
+	"sync/atomic"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/objmodel"
+)
+
+// Deque is a Chase–Lev work-stealing deque of object references: the
+// owning worker pushes and pops at the bottom without contention while
+// thieves take single elements from the top with a CAS. The ring buffer
+// grows without bound (marking never drops work), and every buffer slot
+// is accessed atomically so the engine is clean under the race detector.
+//
+// Steal-half balancing is built from repeated single-element steals
+// (StealBatch): taking k elements with one CAS on top is unsound here
+// because the owner pops through the same range without synchronizing
+// on top until the deque is nearly empty.
+type Deque struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	ring   atomic.Pointer[dequeRing]
+}
+
+type dequeRing struct {
+	mask int64 // len(buf)-1; len is a power of two
+	buf  []atomic.Uint64
+}
+
+func newDequeRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, buf: make([]atomic.Uint64, capacity)}
+}
+
+// minDequeCap is the initial ring capacity.
+const minDequeCap = 64
+
+// NewDeque returns an empty deque.
+func NewDeque() *Deque {
+	d := &Deque{}
+	d.ring.Store(newDequeRing(minDequeCap))
+	return d
+}
+
+// Size returns a snapshot of the number of queued elements. Under
+// concurrent stealing it is advisory (a lower bound may be gone by the
+// time the caller acts on it).
+func (d *Deque) Size() int {
+	b, t := d.bottom.Load(), d.top.Load()
+	if b <= t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// Push appends o at the bottom. Owner only.
+func (d *Deque) Push(o objmodel.Ref) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= int64(len(r.buf)) {
+		r = d.grow(r, b, t)
+	}
+	r.buf[b&r.mask].Store(uint64(o))
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying the live range [t, b). The old ring is
+// never mutated, so a thief still holding it reads valid values for any
+// index its top CAS can win.
+func (d *Deque) grow(r *dequeRing, b, t int64) *dequeRing {
+	nr := newDequeRing(int64(len(r.buf)) * 2)
+	for i := t; i < b; i++ {
+		nr.buf[i&nr.mask].Store(r.buf[i&r.mask].Load())
+	}
+	d.ring.Store(nr)
+	return nr
+}
+
+// Pop removes and returns the most recently pushed element. Owner only.
+// The size-1 race with thieves is resolved by a CAS on top: whoever
+// advances it owns the final element.
+func (d *Deque) Pop() (objmodel.Ref, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return mem.Nil, false
+	}
+	o := objmodel.Ref(r.buf[b&r.mask].Load())
+	if t == b {
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !won {
+			return mem.Nil, false
+		}
+		return o, true
+	}
+	return o, true
+}
+
+// Steal removes and returns the oldest element. Any goroutine.
+// contended reports a lost CAS race (the caller may retry); ok false
+// with contended false means the deque was observed empty.
+func (d *Deque) Steal() (o objmodel.Ref, ok bool, contended bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return mem.Nil, false, false
+	}
+	r := d.ring.Load()
+	v := r.buf[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return mem.Nil, false, true
+	}
+	return objmodel.Ref(v), true, false
+}
+
+// StealBatch steals up to half of the observed size (at least one, at
+// most maxBatch) delivering each element to into, and reports how many
+// were taken plus whether any attempt was lost to contention. The first
+// lost race ends the batch: the victim is being raced over, so the
+// thief moves on rather than spinning.
+func (d *Deque) StealBatch(into func(objmodel.Ref), maxBatch int) (taken int, contended bool) {
+	want := d.Size() / 2
+	if want < 1 {
+		want = 1
+	}
+	if want > maxBatch {
+		want = maxBatch
+	}
+	for taken < want {
+		o, ok, c := d.Steal()
+		if !ok {
+			return taken, contended || c
+		}
+		into(o)
+		taken++
+	}
+	return taken, contended
+}

@@ -38,6 +38,23 @@ type Env struct {
 	// sites call through unconditionally).
 	Trace    trace.Tracer
 	Counters *trace.Counters
+
+	// MarkWorkers is the parallel mark engine's worker count. NewEnv
+	// resolves it from the package default (SetDefaultMarkWorkers);
+	// callers may override it before the first collection. Output is
+	// bit-identical for any value ≥ 1.
+	MarkWorkers int
+
+	marker *ParMarker
+}
+
+// Marker returns the environment's parallel mark engine, building it on
+// first use with MarkWorkers workers.
+func (e *Env) Marker() *ParMarker {
+	if e.marker == nil {
+		e.marker = NewParMarker(e, e.MarkWorkers)
+	}
+	return e.marker
 }
 
 // NewEnv wires a process-wide environment for a heap of heapBytes.
@@ -45,14 +62,15 @@ func NewEnv(v *vmm.VMM, name string, heapBytes uint64) *Env {
 	layout := heap.NewLayout(heapBytes)
 	proc := v.NewProc(name, layout.Total)
 	return &Env{
-		Proc:      proc,
-		Space:     proc.Space(),
-		Clock:     v.Clock,
-		Types:     objmodel.NewTable(),
-		Classes:   objmodel.BuildClasses(),
-		Layout:    layout,
-		HeapPages: int(mem.RoundUpPage(heapBytes) / mem.PageSize),
-		Trace:     trace.Nop{},
+		Proc:        proc,
+		Space:       proc.Space(),
+		Clock:       v.Clock,
+		Types:       objmodel.NewTable(),
+		Classes:     objmodel.BuildClasses(),
+		Layout:      layout,
+		HeapPages:   int(mem.RoundUpPage(heapBytes) / mem.PageSize),
+		Trace:       trace.Nop{},
+		MarkWorkers: DefaultMarkWorkers(),
 	}
 }
 
@@ -240,6 +258,13 @@ func (w *WorkList) Pop() (objmodel.Ref, bool) {
 
 // Len returns the number of pending objects.
 func (w *WorkList) Len() int { return len(w.items) }
+
+// Drain hands the queued items to the caller and leaves the list empty.
+func (w *WorkList) Drain() []objmodel.Ref {
+	items := w.items
+	w.items = nil
+	return items
+}
 
 // Reset empties the list, retaining capacity.
 func (w *WorkList) Reset() { w.items = w.items[:0] }

@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// AtomicView is a raw, clock-free window onto a Space for the parallel
+// mark engine (internal/gc). Workers trace the heap through it with
+// plain atomic loads and compare-and-swaps: no Toucher runs, so the
+// simulated clock, fault counters, and eviction machinery stay
+// untouched while goroutines race. The engine records every logical
+// word access it performs through the view and replays the aggregate
+// against the Space afterwards in canonical page order, which is what
+// keeps the simulation deterministic for any worker count.
+//
+// Raw access is sound because eviction preserves a page's backing words
+// (swap is content-preserving; only Discard zeroes a page, and discards
+// target empty pages), and because the mutator is stopped: during a
+// parallel phase the only heap writes are the engine's own mark-bit
+// CASes.
+//
+// A view is valid for one stop-the-world phase. Build a fresh one per
+// phase: the Space's backing pages can be discarded (ZeroPageRaw)
+// between phases, which a cached view would not observe.
+type AtomicView struct {
+	space *Space
+	mu    sync.Mutex // serializes lazy page materialization
+	pages []atomic.Pointer[[WordsPage]uint64]
+}
+
+// View captures the space's current backing pages for raw atomic access.
+func (s *Space) View() *AtomicView {
+	v := &AtomicView{
+		space: s,
+		pages: make([]atomic.Pointer[[WordsPage]uint64], len(s.pages)),
+	}
+	for i, pg := range s.pages {
+		if pg != nil {
+			v.pages[i].Store((*[WordsPage]uint64)(pg))
+		}
+	}
+	return v
+}
+
+// Load atomically reads the word at a without touching its page.
+func (v *AtomicView) Load(a Addr) uint64 {
+	v.space.check(a)
+	arr := v.pages[a.Page()].Load()
+	if arr == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&arr[(a%PageSize)/WordSize])
+}
+
+// CompareAndSwap atomically replaces the word at a if it still holds
+// old, reporting whether the swap happened. Swapping a nonzero value
+// into a never-written page materializes the page's backing store, the
+// same as Space.WriteWord would.
+func (v *AtomicView) CompareAndSwap(a Addr, old, new uint64) bool {
+	v.space.check(a)
+	arr := v.pages[a.Page()].Load()
+	if arr == nil {
+		if old != 0 {
+			return false
+		}
+		arr = v.materialize(a.Page())
+	}
+	return atomic.CompareAndSwapUint64(&arr[(a%PageSize)/WordSize], old, new)
+}
+
+// materialize installs zeroed backing for page p in both the view and
+// the underlying space. Publication through the atomic pointer (and the
+// phase-end join) is what makes the Space-side write safe: no other
+// goroutine reads Space.pages until the parallel phase is over.
+func (v *AtomicView) materialize(p PageID) *[WordsPage]uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if arr := v.pages[p].Load(); arr != nil {
+		return arr
+	}
+	pg := make([]uint64, WordsPage)
+	v.space.pages[p] = pg
+	arr := (*[WordsPage]uint64)(pg)
+	v.pages[p].Store(arr)
+	return arr
+}

@@ -1,0 +1,41 @@
+package objmodel
+
+import "bookmarkgc/internal/mem"
+
+// Raw header access for the parallel mark engine (internal/gc): the
+// same status-word encoding as objmodel.go, read and written through a
+// mem.AtomicView so concurrent workers never race and never advance the
+// simulated clock. The engine accounts for these accesses itself and
+// replays them against the Space in canonical order.
+
+// MarkedRaw reports whether o is marked in epoch, via one atomic load.
+func MarkedRaw(v *mem.AtomicView, o Ref, epoch uint32) bool {
+	return uint32(v.Load(o)>>epochShift)&uint32(epochMask) == epoch
+}
+
+// TryMark marks o in epoch with a compare-and-swap loop, preserving the
+// bookmark, forwarded, and forwarding-address bits. It reports whether
+// this caller performed the marking — exactly one of any number of
+// concurrent callers wins, so the winner alone queues o for scanning.
+func TryMark(v *mem.AtomicView, o Ref, epoch uint32) bool {
+	for {
+		w := v.Load(o)
+		if uint32(w>>epochShift)&uint32(epochMask) == epoch {
+			return false
+		}
+		nw := (w &^ (epochMask << epochShift)) | uint64(epoch&uint32(epochMask))<<epochShift
+		if v.CompareAndSwap(o, w, nw) {
+			return true
+		}
+		// Lost a race: either a competing marker won (next load sees the
+		// epoch and returns false) or an unrelated bit changed, which
+		// cannot happen during a parallel phase — retry regardless.
+	}
+}
+
+// TypeOfRaw decodes o's type descriptor and array length from one
+// atomic load of header word 1.
+func TypeOfRaw(v *mem.AtomicView, tb *Table, o Ref) (*Type, int) {
+	w := v.Load(o + mem.WordSize)
+	return tb.Get(int32(uint32(w))), int(uint32(w >> 32))
+}

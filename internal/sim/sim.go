@@ -226,14 +226,20 @@ func (s *SignalMem) grow() {
 // it so their setup paths cannot drift apart. A nil tr keeps the
 // environment's default no-op tracer. src is the workload factory —
 // a mutator.Spec for the generated programs, or a trace source
-// (internal/workload) for replayed ones.
+// (internal/workload) for replayed ones. markWorkers overrides the
+// parallel mark engine's worker count when positive (0 keeps the
+// process-wide default); any value produces bit-identical output.
 func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
-	src mutator.Source, seed int64, tr trace.Tracer, ctrs *trace.Counters) (*gc.Env, gc.Collector, mutator.Workload, error) {
+	src mutator.Source, seed int64, tr trace.Tracer, ctrs *trace.Counters,
+	markWorkers int) (*gc.Env, gc.Collector, mutator.Workload, error) {
 	env := gc.NewEnv(v, name, heapBytes)
 	if tr != nil {
 		env.Trace = tr
 	}
 	env.Counters = ctrs
+	if markWorkers > 0 {
+		env.MarkWorkers = markWorkers
+	}
 	types := mutator.DeclareTypes(env)
 	col, err := NewCollector(kind, env)
 	if err != nil {
@@ -280,6 +286,12 @@ type RunConfig struct {
 	// simulated clock, so recorded runs measure identically to
 	// unrecorded ones. Ignored for workloads that are not generators.
 	Sink mutator.Sink
+
+	// MarkWorkers, when positive, overrides the parallel mark engine's
+	// worker count for this run (0 = process-wide default). It changes
+	// only host-side parallelism: results are bit-identical for any
+	// value, so it is not part of a run's identity for caching.
+	MarkWorkers int
 }
 
 // chaosQuantum is the mutator step size between injector safepoints.
@@ -327,7 +339,7 @@ func Run(cfg RunConfig) (res Result) {
 		src = cfg.Workload
 	}
 	env, col, run, err := newInstance(v, string(cfg.Collector), cfg.Collector,
-		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters)
+		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters, cfg.MarkWorkers)
 	if err != nil {
 		return Result{Config: cfg, Err: err}
 	}
@@ -409,6 +421,11 @@ type MultiConfig struct {
 	// Workload, when non-nil, supplies every JVM's events instead of
 	// Program's generator; each instance replays its own stream.
 	Workload mutator.Source
+
+	// MarkWorkers, when positive, overrides the parallel mark engine's
+	// worker count for every JVM (0 = process-wide default). Output is
+	// bit-identical for any value.
+	MarkWorkers int
 }
 
 // RunMulti round-robins the JVMs on one simulated CPU until all complete,
@@ -446,7 +463,7 @@ func RunMulti(cfg MultiConfig) []Result {
 			tr = cfg.Trace.Thread(name)
 		}
 		env, col, run, err := newInstance(v, name, cfg.Collector,
-			cfg.HeapBytes, src, cfg.Seed+int64(i), tr, cfg.Counters)
+			cfg.HeapBytes, src, cfg.Seed+int64(i), tr, cfg.Counters, cfg.MarkWorkers)
 		if err != nil {
 			// Same kind for every JVM: the whole configuration is invalid.
 			return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,

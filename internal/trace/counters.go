@@ -131,57 +131,96 @@ const (
 	// CWorkloadBlocksRead counts CRC-framed trace blocks decoded.
 	CWorkloadBlocksRead
 
+	// Mark counters (internal/gc): the work-stealing parallel mark
+	// engine's telemetry. The totals in this group that describe the
+	// marked graph (rounds, objects, bytes) are deterministic for any
+	// worker count; the scheduling ones (steals, steal failures,
+	// termination spins, the per-worker byte split) depend on goroutine
+	// interleaving and are diagnostics only — they never appear in
+	// experiment reports, which must stay byte-identical across
+	// -mark-workers values.
+
+	// CMarkRounds counts parallel mark rounds (drain + replay cycles).
+	CMarkRounds
+	// CMarkObjects counts objects scanned by the mark engine.
+	CMarkObjects
+	// CMarkBytes counts bytes of objects scanned by the mark engine.
+	CMarkBytes
+	// CMarkSteals counts successful deque steals between mark workers.
+	CMarkSteals
+	// CMarkStealFails counts steal attempts lost to contention or raced
+	// to empty.
+	CMarkStealFails
+	// CMarkTermRounds counts termination-barrier spins: times an idle
+	// worker swept every deque, found nothing, and re-checked for quiescence.
+	CMarkTermRounds
+
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CObjectsBookmarked:     "objects_bookmarked",
-	CIncomingBumps:         "incoming_bumps",
-	CIncomingDecrements:    "incoming_decrements",
-	CPagesDiscarded:        "pages_discarded",
-	CPagesProcessed:        "pages_processed",
-	CPagesReloaded:         "pages_reloaded",
-	CRemsetFlushes:         "remset_flushes",
-	CRemsetEntriesFiltered: "remset_entries_filtered",
-	CRemsetEntriesCarded:   "remset_entries_carded",
-	CSuperpagesAcquired:    "superpages_acquired",
-	CSuperpagesReleased:    "superpages_released",
-	CLOSAllocs:             "los_allocs",
-	CLOSPagesAllocated:     "los_pages_allocated",
-	CBumpAllocs:            "bump_allocs",
-	CPromotedBytes:         "promoted_bytes",
-	CForwardedObjects:      "forwarded_objects",
-	CForwardedBytes:        "forwarded_bytes",
-	CHeapShrinks:           "heap_shrinks",
-	CHeapRegrows:           "heap_regrows",
-	CPreventiveBookmarks:   "preventive_bookmarks",
-	CSilentEvictions:       "silent_evictions_repaired",
-	CUnnotifiedReloads:     "unnotified_reloads_repaired",
-	CStaleNotices:          "stale_notices_ignored",
-	CDuplicateNotices:      "duplicate_notices_ignored",
-	CSpuriousReloads:       "spurious_reloads_ignored",
-	CGCRequestBackoffs:     "gc_request_backoffs",
-	CFailSafesForced:       "failsafes_forced",
-	CDeferredUnbookmarks:   "deferred_unbookmarks",
-	CChaosEvictsDropped:    "chaos_evicts_dropped",
-	CChaosEvictsDelayed:    "chaos_evicts_delayed",
-	CChaosEvictsDuplicated: "chaos_evicts_duplicated",
-	CChaosEvictsReordered:  "chaos_evicts_reordered",
-	CChaosReloadsDropped:   "chaos_reloads_dropped",
-	CChaosSpuriousReloads:  "chaos_spurious_reloads",
-	CChaosMuted:            "chaos_muted",
-	CChaosPressureSpikes:   "chaos_pressure_spikes",
-	CRunnerJobsExecuted:    "runner_jobs_executed",
-	CRunnerMemHits:         "runner_mem_hits",
-	CRunnerCacheHits:       "runner_cache_hits",
-	CRunnerJobErrors:       "runner_job_errors",
-	CRunnerJobTimeouts:     "runner_job_timeouts",
+	CObjectsBookmarked:      "objects_bookmarked",
+	CIncomingBumps:          "incoming_bumps",
+	CIncomingDecrements:     "incoming_decrements",
+	CPagesDiscarded:         "pages_discarded",
+	CPagesProcessed:         "pages_processed",
+	CPagesReloaded:          "pages_reloaded",
+	CRemsetFlushes:          "remset_flushes",
+	CRemsetEntriesFiltered:  "remset_entries_filtered",
+	CRemsetEntriesCarded:    "remset_entries_carded",
+	CSuperpagesAcquired:     "superpages_acquired",
+	CSuperpagesReleased:     "superpages_released",
+	CLOSAllocs:              "los_allocs",
+	CLOSPagesAllocated:      "los_pages_allocated",
+	CBumpAllocs:             "bump_allocs",
+	CPromotedBytes:          "promoted_bytes",
+	CForwardedObjects:       "forwarded_objects",
+	CForwardedBytes:         "forwarded_bytes",
+	CHeapShrinks:            "heap_shrinks",
+	CHeapRegrows:            "heap_regrows",
+	CPreventiveBookmarks:    "preventive_bookmarks",
+	CSilentEvictions:        "silent_evictions_repaired",
+	CUnnotifiedReloads:      "unnotified_reloads_repaired",
+	CStaleNotices:           "stale_notices_ignored",
+	CDuplicateNotices:       "duplicate_notices_ignored",
+	CSpuriousReloads:        "spurious_reloads_ignored",
+	CGCRequestBackoffs:      "gc_request_backoffs",
+	CFailSafesForced:        "failsafes_forced",
+	CDeferredUnbookmarks:    "deferred_unbookmarks",
+	CChaosEvictsDropped:     "chaos_evicts_dropped",
+	CChaosEvictsDelayed:     "chaos_evicts_delayed",
+	CChaosEvictsDuplicated:  "chaos_evicts_duplicated",
+	CChaosEvictsReordered:   "chaos_evicts_reordered",
+	CChaosReloadsDropped:    "chaos_reloads_dropped",
+	CChaosSpuriousReloads:   "chaos_spurious_reloads",
+	CChaosMuted:             "chaos_muted",
+	CChaosPressureSpikes:    "chaos_pressure_spikes",
+	CRunnerJobsExecuted:     "runner_jobs_executed",
+	CRunnerMemHits:          "runner_mem_hits",
+	CRunnerCacheHits:        "runner_cache_hits",
+	CRunnerJobErrors:        "runner_job_errors",
+	CRunnerJobTimeouts:      "runner_job_timeouts",
 	CWorkloadEventsRecorded: "workload_events_recorded",
 	CWorkloadEventsReplayed: "workload_events_replayed",
 	CWorkloadAllocsReplayed: "workload_allocs_replayed",
 	CWorkloadFreeHints:      "workload_free_hints",
 	CWorkloadBlocksWritten:  "workload_blocks_written",
 	CWorkloadBlocksRead:     "workload_blocks_read",
+	CMarkRounds:             "mark_rounds",
+	CMarkObjects:            "mark_objects",
+	CMarkBytes:              "mark_bytes",
+	CMarkSteals:             "mark_steals",
+	CMarkStealFails:         "mark_steal_fails",
+	CMarkTermRounds:         "mark_termination_rounds",
+}
+
+// MarkCounters lists the mark counter group in declaration order —
+// the inventory gcsim -list prints.
+func MarkCounters() []Counter {
+	return []Counter{
+		CMarkRounds, CMarkObjects, CMarkBytes,
+		CMarkSteals, CMarkStealFails, CMarkTermRounds,
+	}
 }
 
 func (c Counter) String() string {
@@ -231,11 +270,16 @@ const (
 	// index.
 	VSuperAllocsByClass Vec = iota
 
+	// VMarkBytesByWorker counts bytes scanned per mark-worker index.
+	// The split is schedule-dependent; only the sum is deterministic.
+	VMarkBytesByWorker
+
 	numVecs
 )
 
 var vecNames = [numVecs]string{
 	VSuperAllocsByClass: "superpage_allocs_by_class",
+	VMarkBytesByWorker:  "mark_bytes_by_worker",
 }
 
 func (v Vec) String() string {

@@ -113,14 +113,14 @@ const (
 )
 
 var eventNames = [numEvents]string{
-	EvEvictionScheduled:  "eviction-scheduled",
-	EvPageDiscarded:      "page-discarded",
-	EvPageProcessed:      "page-processed",
-	EvPageReloaded:       "page-reloaded",
-	EvBookmarkCleared:    "bookmark-cleared",
-	EvBookmarkDeferred:   "bookmark-deferred",
-	EvHeapShrink:         "heap-shrink",
-	EvHeapRegrow:         "heap-regrow",
+	EvEvictionScheduled:   "eviction-scheduled",
+	EvPageDiscarded:       "page-discarded",
+	EvPageProcessed:       "page-processed",
+	EvPageReloaded:        "page-reloaded",
+	EvBookmarkCleared:     "bookmark-cleared",
+	EvBookmarkDeferred:    "bookmark-deferred",
+	EvHeapShrink:          "heap-shrink",
+	EvHeapRegrow:          "heap-regrow",
 	EvPreventiveBookmark:  "preventive-bookmark",
 	EvMemoryPinned:        "memory-pinned",
 	EvResidencyRepaired:   "residency-repaired",
@@ -130,14 +130,14 @@ var eventNames = [numEvents]string{
 // eventArgNames names the two arguments of each event for exporters; an
 // empty name means the argument is unused and omitted from output.
 var eventArgNames = [numEvents][2]string{
-	EvEvictionScheduled:  {"page", ""},
-	EvPageDiscarded:      {"page", ""},
-	EvPageProcessed:      {"page", "bookmarked"},
-	EvPageReloaded:       {"page", "wasEvicted"},
-	EvBookmarkCleared:    {"page", "decrements"},
-	EvBookmarkDeferred:   {"page", "straddlers"},
-	EvHeapShrink:         {"targetPages", "was"},
-	EvHeapRegrow:         {"targetPages", "was"},
+	EvEvictionScheduled:   {"page", ""},
+	EvPageDiscarded:       {"page", ""},
+	EvPageProcessed:       {"page", "bookmarked"},
+	EvPageReloaded:        {"page", "wasEvicted"},
+	EvBookmarkCleared:     {"page", "decrements"},
+	EvBookmarkDeferred:    {"page", "straddlers"},
+	EvHeapShrink:          {"targetPages", "was"},
+	EvHeapRegrow:          {"targetPages", "was"},
 	EvPreventiveBookmark:  {"page", ""},
 	EvMemoryPinned:        {"frames", "totalPinned"},
 	EvResidencyRepaired:   {"page", "kind"},

@@ -475,6 +475,22 @@ func (p *Proc) Touch(pg mem.PageID, write bool) {
 	_ = write
 }
 
+// TouchN charges n word accesses to page pg as one batch: the first
+// access runs the full fault path (faults, residency, notifications),
+// the remainder only advance the clock — after the first access the
+// page is resident and referenced, so n-1 further touches could differ
+// only in clock cost. The parallel mark engine uses this to replay its
+// recorded per-page access counts in canonical order.
+func (p *Proc) TouchN(pg mem.PageID, n uint64, write bool) {
+	if n == 0 {
+		return
+	}
+	p.Touch(pg, write)
+	if n > 1 {
+		p.vmm.Clock.Advance(time.Duration(n-1) * p.vmm.costs.WordAccess)
+	}
+}
+
 // State returns the residency state of page pg.
 func (p *Proc) State(pg mem.PageID) PageState { return p.pages[pg].state }
 

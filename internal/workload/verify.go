@@ -24,11 +24,11 @@ type Stats struct {
 	Temps     uint64 // allocations no root ever held
 	Survivors uint64 // allocations stored into a root slot
 
-	FreeHints uint64
-	Releases  uint64
-	RootNils  uint64
-	Links     uint64
-	LinkNops  uint64
+	FreeHints  uint64
+	Releases   uint64
+	RootNils   uint64
+	Links      uint64
+	LinkNops   uint64
 	WorkReads  uint64
 	WorkWrites uint64
 
