@@ -36,6 +36,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -45,6 +47,7 @@ import (
 	"bookmarkgc/internal/bench"
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/runner"
+	"bookmarkgc/internal/telemetry"
 )
 
 func main() {
@@ -62,6 +65,7 @@ func main() {
 		format   = flag.String("format", "text", "report output format: text or json")
 		benchOut = flag.String("bench-out", "", "append a wall-time record for this invocation to this JSON file")
 		expect   = flag.Bool("expect-cached", false, "exit 3 unless every job was served from cache (resume smoke test)")
+		httpAddr = flag.String("http", "", "serve live sweep progress (/api/progress) and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -113,12 +117,31 @@ func main() {
 		}
 		defer cache.Close()
 	}
+	// The progress tracker feeds both the stderr printer and, when -http
+	// is set, the /api/progress endpoint that remote dashboards poll.
+	tracker := &progressTracker{print: progressPrinter()}
 	rn := runner.New(runner.Options{
 		Workers:    *jobs,
 		Timeout:    *timeout,
 		Cache:      cache,
-		OnProgress: progressPrinter(),
+		OnProgress: tracker.observe,
 	})
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fail("-http: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving progress on http://%s/api/progress\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: telemetry.NewMux(telemetry.ServerOptions{
+				Progress: tracker.snapshot,
+				Title:    "experiments",
+			})}
+			if err := srv.Serve(ln); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: http server: %v\n", err)
+			}
+		}()
+	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Counters: *counters}
 	if *format == "text" {
@@ -131,6 +154,7 @@ func main() {
 		totalStart = time.Now()
 	)
 	for _, e := range selected {
+		tracker.setExperiment(e.ID)
 		start := time.Now()
 		reports := e.Run(opts, rn)
 		wall := time.Since(start)
@@ -240,6 +264,45 @@ func appendBenchRecord(path string, rec benchRecord) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// progressTracker fans runner progress out to the stderr printer and
+// keeps the latest batch state for the /api/progress endpoint.
+type progressTracker struct {
+	mu         sync.Mutex
+	print      func(runner.Progress)
+	experiment string
+	last       runner.Progress
+}
+
+func (t *progressTracker) setExperiment(id string) {
+	t.mu.Lock()
+	t.experiment = id
+	t.last = runner.Progress{}
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) observe(p runner.Progress) {
+	t.mu.Lock()
+	t.last = p
+	t.mu.Unlock()
+	t.print(p)
+}
+
+// snapshot is the telemetry.ServerOptions.Progress hook: a JSON-ready
+// view of the current experiment's batch.
+func (t *progressTracker) snapshot() interface{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return struct {
+		Experiment string  `json:"experiment"`
+		Done       int     `json:"done"`
+		Total      int     `json:"total"`
+		CacheHits  int     `json:"cache_hits"`
+		ElapsedSec float64 `json:"elapsed_secs"`
+		ETASec     float64 `json:"eta_secs"`
+	}{t.experiment, t.last.Done, t.last.Total, t.last.Hits,
+		t.last.Elapsed.Seconds(), t.last.ETA.Seconds()}
 }
 
 // progressPrinter returns a throttled stderr progress callback:

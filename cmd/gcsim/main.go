@@ -8,6 +8,8 @@
 //	      [-avail 0] [-steal 0] [-scale 0.25] [-seed 1] [-jvms 1] [-bmu]
 //	      [-runs 1] [-jobs n] [-mark-workers n] [-chaos regime] [-chaos-seed 1]
 //	      [-trace out.json] [-trace-format chrome|jsonl] [-counters]
+//	      [-http :8080] [-telemetry-out series.csv] [-sample-every 1ms]
+//	      [-flight-dump-dir dir]
 //
 // -steal f   pins f*heap immediately (steady pressure, Figure 3)
 // -avail mb  dynamic pressure down to mb megabytes available (Figure 4/5)
@@ -28,6 +30,21 @@
 //
 // -trace f   writes GC phase spans and VM-cooperation events to f
 // -counters  prints the event-counter registry after the run
+//
+// Telemetry (DESIGN.md §12) — any of these flags arms the deterministic
+// sampler, per-pause phase attribution, and the flight recorder:
+//
+// -http addr          serves /metrics, the dashboard, /api/* and
+//
+//	/debug/pprof/ during the run and blocks after it so the
+//	final state stays scrapeable
+//
+// -telemetry-out f    writes the sampled time series after the run
+//
+//	(.jsonl gets samples+pauses+digests; anything else CSV)
+//
+// -sample-every d     sampling interval in simulated time (default 1ms)
+// -flight-dump-dir d  writes flight-recorder bundles (anomaly dumps) here
 // -list      prints the simulator's inventory (programs, collectors, mark
 //
 //	counters, chaos regimes, synthesizer models, *.gctrace files)
@@ -39,6 +56,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -48,9 +67,11 @@ import (
 	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/telemetry"
 	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
 	"bookmarkgc/internal/workload"
@@ -77,8 +98,23 @@ func main() {
 		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
 		counters  = flag.Bool("counters", false, "print the event-counter registry after the run")
 		list      = flag.Bool("list", false, "list programs, collectors, chaos regimes, trace models and files, then exit")
+
+		httpAddr    = flag.String("http", "", "serve /metrics, the dashboard and /debug/pprof on this address (e.g. :8080)")
+		telemOut    = flag.String("telemetry-out", "", "write the telemetry time series to this file (.jsonl or CSV)")
+		sampleEvery = flag.Duration("sample-every", time.Millisecond, "telemetry sampling interval in simulated time")
+		flightDir   = flag.String("flight-dump-dir", "", "write flight-recorder bundles (anomaly dumps) to this directory")
 	)
 	flag.Parse()
+
+	// -sample-every alone also arms telemetry, but only when explicitly
+	// given: the default value must not silently turn the sampler on.
+	sampleEverySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sample-every" {
+			sampleEverySet = true
+		}
+	})
+	telemetryOn := *httpAddr != "" || *telemOut != "" || *flightDir != "" || sampleEverySet
 
 	if *list {
 		listInventory()
@@ -109,6 +145,12 @@ func main() {
 	}
 	if *markWkrs < 1 {
 		fail("-mark-workers %d must be at least 1", *markWkrs)
+	}
+	if *sampleEvery <= 0 {
+		fail("-sample-every %v must be positive", *sampleEvery)
+	}
+	if telemetryOn && (*runs > 1 || *jvms > 1) {
+		fail("telemetry instruments exactly one simulation; drop -runs/-jvms or the telemetry flags")
 	}
 	if *runs > 1 {
 		if *bmu || *traceOut != "" || *counters {
@@ -196,8 +238,41 @@ func main() {
 		rec = trace.NewRecorder(nil, *collector)
 	}
 	var reg *trace.Counters
-	if *counters || *traceOut != "" {
+	if *counters || *traceOut != "" || telemetryOn {
+		// Telemetry needs the registry too: the flight recorder's
+		// chaos-escalation trigger watches fail-safe/backoff counters, and
+		// /metrics exports the telemetry self-counters.
 		reg = trace.NewCounters()
+	}
+
+	// The telemetry collector samples on the simulated clock and observes
+	// only bookkeeping, so the instrumented run is bit-identical to an
+	// uninstrumented one (DESIGN.md §12). The HTTP server starts before
+	// the run so the dashboard is live while it executes.
+	var tel *telemetry.Collector
+	if telemetryOn {
+		tel = telemetry.New(telemetry.Config{
+			SampleEvery: *sampleEvery,
+			FlightDir:   *flightDir,
+		})
+		if *httpAddr != "" {
+			ln, err := net.Listen("tcp", *httpAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gcsim: -http: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gcsim: serving telemetry on http://%s/\n", ln.Addr())
+			go func() {
+				srv := &http.Server{Handler: telemetry.NewMux(telemetry.ServerOptions{
+					Telemetry: tel,
+					Title:     fmt.Sprintf("gcsim %s/%s", *collector, *program),
+				})}
+				if err := srv.Serve(ln); err != nil {
+					fmt.Fprintf(os.Stderr, "gcsim: http server: %v\n", err)
+					os.Exit(1)
+				}
+			}()
+		}
 	}
 
 	if *jvms > 1 {
@@ -224,7 +299,15 @@ func main() {
 		Pressure: pressure, Seed: *seed, Chaos: chaosCfg,
 		MarkWorkers: *markWkrs,
 		Trace:       rec, Counters: reg,
+		Telemetry: tel,
 	})
+	if tel != nil && r.Err != nil {
+		// Report the telemetry captured up to the failure (the flight
+		// recorder has already dumped an "oom" bundle if armed), then exit
+		// through the usual path.
+		telemetryReport(tel, &r.Timeline)
+		writeTelemetry(tel, *telemOut)
+	}
 	checkErr(r.Err)
 	fmt.Println(summary(r))
 	if r.Faults != nil {
@@ -237,7 +320,105 @@ func main() {
 			fmt.Printf("  %8.4fs  %.3f\n", pt[0], pt[1])
 		}
 	}
+	if tel != nil {
+		telemetryReport(tel, &r.Timeline)
+		writeTelemetry(tel, *telemOut)
+	}
 	finish(rec, reg, *traceOut, *traceFmt, *counters)
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "gcsim: run complete; still serving (interrupt to exit)")
+		select {}
+	}
+}
+
+// telemetryReport prints the sampler's summary and the per-kind pause
+// attribution: percentiles from the log-bucketed digests, and each
+// kind's pause time split into phase self-time plus the simulated cost
+// of the major faults taken inside the pause (the paper's disk stalls).
+func telemetryReport(tel *telemetry.Collector, tl *metrics.Timeline) {
+	fmt.Printf("telemetry: %d samples, %d pauses, %d flight dumps\n",
+		tel.SampleCount(), len(tel.Pauses()), tel.FlightDumps())
+	all := tel.DigestAll()
+	if all.Count() > 0 {
+		fmt.Printf("pause latency: p50=%v p95=%v p99=%v p99.9=%v max=%v\n",
+			round(all.QuantileDuration(0.50)), round(all.QuantileDuration(0.95)),
+			round(all.QuantileDuration(0.99)), round(all.QuantileDuration(0.999)),
+			round(time.Duration(all.Max())))
+	}
+	pauses := tel.Pauses()
+	for _, kind := range []metrics.PauseKind{metrics.PauseNursery, metrics.PauseFull, metrics.PauseCompact} {
+		var (
+			n      int
+			total  time.Duration
+			stall  time.Duration
+			other  time.Duration
+			phases [trace.NumPhases]time.Duration
+			faults uint64
+		)
+		for i := range pauses {
+			p := &pauses[i]
+			if p.Kind != kind {
+				continue
+			}
+			n++
+			total += p.Dur
+			stall += p.FaultStall
+			other += p.Other()
+			faults += p.MajorFaults
+			for ph := 0; ph < trace.NumPhases; ph++ {
+				phases[ph] += p.PhaseNS[ph]
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s n=%d total=%v p50=%v p99=%v:", kind, n,
+			round(total), round(tl.PercentileKind(kind, 50)), round(tl.PercentileKind(kind, 99)))
+		for ph := trace.Phase(0); int(ph) < trace.NumPhases; ph++ {
+			switch ph {
+			case trace.PhasePauseNursery, trace.PhasePauseFull, trace.PhasePauseCompact:
+				continue // the pause span's self-time is "other" below
+			}
+			if phases[ph] > 0 {
+				fmt.Printf(" %s=%v", ph, round(phases[ph]))
+			}
+		}
+		fmt.Printf(" other=%v", round(other))
+		if faults > 0 {
+			fmt.Printf(" fault-stall=%v (majflt=%d)", round(stall), faults)
+		}
+		fmt.Println()
+	}
+}
+
+// writeTelemetry exports the sampled series: .jsonl gets the full
+// samples+pauses+digests stream, anything else the columnar CSV.
+func writeTelemetry(tel *telemetry.Collector, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcsim: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(f)
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tel.WriteJSONL(w)
+	} else {
+		err = tel.WriteCSV(w)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcsim: writing telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("telemetry: %d samples -> %s\n", tel.SampleCount(), path)
 }
 
 // listInventory prints everything the simulator can run: the benchmark
@@ -256,6 +437,10 @@ func listInventory() {
 	}
 	fmt.Println("parallel mark counters (-counters; engine in DESIGN.md §11):")
 	for _, c := range trace.MarkCounters() {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Println("telemetry counters (-counters; layer in DESIGN.md §12):")
+	for _, c := range trace.TelemetryCounters() {
 		fmt.Printf("  %s\n", c)
 	}
 	fmt.Printf("chaos regimes (-chaos): %s\n", strings.Join(fault.Regimes(), ", "))

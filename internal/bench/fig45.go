@@ -7,6 +7,7 @@ import (
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/runner"
 	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/telemetry"
 )
 
 // fig45Heap is the pseudoJBB heap for the dynamic-pressure experiments
@@ -94,7 +95,39 @@ func Fig4(o Options, rn *runner.Runner) []Report {
 		}
 		r.Rows = append(r.Rows, row)
 	}
-	return []Report{r}
+	return []Report{r, fig4Latency(o, rn, kinds, prog, heap, base)}
+}
+
+// fig4Latency is the tail-latency companion to Figure 4: per-collector
+// pause percentiles at the heaviest pressure point, from the telemetry
+// layer's log-bucketed digest over the same runs (no extra jobs). Mean
+// pause (Figure 4) hides the tail; the paper's argument is precisely
+// that a single faulting full collection costs seconds, which shows up
+// here as the gap between p50 and max.
+func fig4Latency(o Options, rn *runner.Runner, kinds []sim.CollectorKind, prog mutator.Spec, heap uint64, base time.Duration) Report {
+	frac := fig45Avail[len(fig45Avail)-1]
+	r := Report{
+		ID: "fig4lat",
+		Title: fmt.Sprintf("dynamic pressure: pause-latency percentiles at %.0fMB available",
+			frac*fig45HeapMB),
+		Header: []string{"collector", "pauses", "p50", "p95", "p99", "p99.9", "max"},
+	}
+	for _, k := range kinds {
+		res := rn.Result(dynamicJob(o, k, prog, heap, uint64(frac*float64(heap)), base))
+		if !res.OK() {
+			r.Rows = append(r.Rows, []string{string(k), "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		tl := res.One().Timeline()
+		d := telemetry.FromTimeline(&tl)
+		r.Rows = append(r.Rows, []string{
+			string(k), fmt.Sprint(d.Count()),
+			ms(d.QuantileDuration(0.50)), ms(d.QuantileDuration(0.95)),
+			ms(d.QuantileDuration(0.99)), ms(d.QuantileDuration(0.999)),
+			ms(time.Duration(d.Max())),
+		})
+	}
+	return r
 }
 
 // Fig5 reproduces Figure 5: execution time under the same dynamic

@@ -8,6 +8,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // CopyMS allocates with a bump pointer and performs only whole-heap
@@ -107,9 +108,11 @@ func (c *CopyMS) Collect(bool) {
 		work.Push(dst)
 		return dst
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace (DESIGN.md §11): workers mark mature
 	// objects in place and defer eden edges, which forward evacuates
 	// sequentially between rounds.
@@ -122,13 +125,17 @@ func (c *CopyMS) Collect(bool) {
 			return gc.EdgeMark
 		},
 	}
+	c.E.Trace.Begin(trace.PhaseMark)
 	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, _ *gc.WorkList) {
 		if nw := forward(e.Target); nw != e.Target {
 			c.E.Space.WriteAddr(e.Slot, nw)
 		}
 	})
+	c.E.Trace.End(trace.PhaseMark)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 	c.eden.Reset()
 	if c.MatureUsedPages() > c.E.HeapPages {
 		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})

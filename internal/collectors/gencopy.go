@@ -6,6 +6,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // GenCopy is the Appel-style generational collector with a bump-pointer
@@ -166,6 +167,7 @@ func (c *GenCopy) nurseryGC() {
 			c.E.Space.WriteAddr(slot, c.copyTo(tgt, c.matFrom, &work))
 		}
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.remset.ForEachSlot(func(slot mem.Addr) {
 		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
 			fwd(slot, tgt)
@@ -176,6 +178,8 @@ func (c *GenCopy) nurseryGC() {
 			*slot = c.copyTo(*slot, c.matFrom, &work)
 		}
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
+	c.E.Trace.Begin(trace.PhaseCheneyForward)
 	for {
 		o, ok := work.Pop()
 		if !ok {
@@ -183,6 +187,7 @@ func (c *GenCopy) nurseryGC() {
 		}
 		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
 	}
+	c.E.Trace.End(trace.PhaseCheneyForward)
 	c.nursery.Reset()
 	c.remset.Clear()
 }
@@ -213,9 +218,12 @@ func (c *GenCopy) fullGC() {
 		}
 		return o
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
+	c.E.Trace.Begin(trace.PhaseCheneyForward)
 	for {
 		o, ok := work.Pop()
 		if !ok {
@@ -227,7 +235,10 @@ func (c *GenCopy) fullGC() {
 			}
 		})
 	}
+	c.E.Trace.End(trace.PhaseCheneyForward)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.los.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 	c.nursery.Reset()
 	c.remset.Clear()
 }

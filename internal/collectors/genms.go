@@ -8,6 +8,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // GenMS is the Appel-style generational collector with a bump-pointer
@@ -155,6 +156,7 @@ func (c *GenMS) nurseryGC() {
 		}
 	}
 	// Remembered slots first (old-to-young pointers), then roots.
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.remset.ForEachSlot(func(slot mem.Addr) {
 		if tgt := c.E.Space.ReadAddr(slot); tgt != mem.Nil {
 			fwd(slot, tgt)
@@ -165,6 +167,8 @@ func (c *GenMS) nurseryGC() {
 			*slot = c.copyToMature(*slot, &work)
 		}
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
+	c.E.Trace.Begin(trace.PhaseCheneyForward)
 	for {
 		o, ok := work.Pop()
 		if !ok {
@@ -172,6 +176,7 @@ func (c *GenMS) nurseryGC() {
 		}
 		gc.ScanObject(c.E.Space, c.E.Types, o, fwd)
 	}
+	c.E.Trace.End(trace.PhaseCheneyForward)
 	c.nursery.Reset()
 	c.remset.Clear()
 }
@@ -197,9 +202,11 @@ func (c *GenMS) fullGC() {
 
 	epoch := c.NextEpoch()
 	var work gc.WorkList
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = c.fullForward(*slot, &work, epoch)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace (DESIGN.md §11): mature objects are
 	// marked in place by the workers; edges into the nursery are deferred
 	// and evacuated sequentially between rounds, exactly as fullForward
@@ -213,6 +220,7 @@ func (c *GenMS) fullGC() {
 			return gc.EdgeMark
 		},
 	}
+	c.E.Trace.Begin(trace.PhaseMark)
 	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
 		dst := c.copyToMature(e.Target, w)
 		objmodel.SetMark(c.E.Space, dst, epoch)
@@ -220,8 +228,11 @@ func (c *GenMS) fullGC() {
 			c.E.Space.WriteAddr(e.Slot, dst)
 		}
 	})
+	c.E.Trace.End(trace.PhaseMark)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 	c.nursery.Reset()
 	c.remset.Clear()
 }

@@ -5,6 +5,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // MarkSweep is the whole-heap, non-moving collector: segregated-fit
@@ -61,12 +62,18 @@ func (c *MarkSweep) Collect(bool) {
 
 	epoch := c.NextEpoch()
 	var work gc.WorkList
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		gc.MarkStep(c.E, &work, *slot, epoch)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace; in-place marking only, no deferred
 	// edges (DESIGN.md §11).
+	c.E.Trace.Begin(trace.PhaseMark)
 	c.E.Marker().Mark(&gc.ParMarkConfig{Epoch: epoch}, &work, nil)
+	c.E.Trace.End(trace.PhaseMark)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)
 	c.LOS.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 }

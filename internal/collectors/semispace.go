@@ -6,6 +6,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
+	"bookmarkgc/internal/trace"
 )
 
 // SemiSpace is the classic two-space copying collector: bump allocation
@@ -96,9 +97,12 @@ func (c *SemiSpace) Collect(bool) {
 	epoch := c.NextEpoch()
 
 	var work gc.WorkList
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = c.forward(*slot, &work, epoch)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
+	c.E.Trace.Begin(trace.PhaseCheneyForward)
 	for {
 		o, ok := work.Pop()
 		if !ok {
@@ -108,7 +112,10 @@ func (c *SemiSpace) Collect(bool) {
 			c.E.Space.WriteAddr(slot, c.forward(tgt, &work, epoch))
 		})
 	}
+	c.E.Trace.End(trace.PhaseCheneyForward)
+	c.E.Trace.Begin(trace.PhaseSweep)
 	c.los.Sweep(epoch, nil)
+	c.E.Trace.End(trace.PhaseSweep)
 }
 
 // forward copies o into to-space if it lives in from-space, returning its

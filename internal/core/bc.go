@@ -496,11 +496,13 @@ func (c *BC) nurseryGC() {
 	c.remset.ForEachCard(func(start, end mem.Addr) {
 		c.scanCard(start, end, fwd)
 	})
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		if c.nursery.Contains(*slot) {
 			*slot = c.copyToMature(*slot, &work)
 		}
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	for {
 		o, ok := work.Pop()
 		if !ok {
@@ -624,9 +626,11 @@ func (c *BC) fullGC() {
 		gc.MarkStep(c.E, &work, o, epoch)
 		return o
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace (DESIGN.md §11) with scanLive's edge
 	// policy: slots and targets on evicted pages are skipped, nursery
 	// targets are deferred for sequential evacuation between rounds. The

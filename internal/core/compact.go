@@ -45,7 +45,9 @@ func (c *BC) compact() {
 			gc.MarkStep(c.E, &work, o, epoch)
 		}
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) { markRoot(*slot) })
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing census trace (DESIGN.md §11): a pure marking
 	// pass, so there are no deferred edges — nursery objects are marked in
 	// place and scanned like everything else. Nursery slots are always
@@ -108,9 +110,11 @@ func (c *BC) compact() {
 			return o
 		}
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	for {
 		o, ok := work.Pop()
 		if !ok {

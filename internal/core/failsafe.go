@@ -63,9 +63,11 @@ func (c *BC) failSafe() {
 		gc.MarkStep(c.E, &work, o, epoch)
 		return o
 	}
+	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		*slot = forward(*slot)
 	})
+	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace (DESIGN.md §11) with no residency
 	// filtering — the fail-safe follows every reference. Workers read the
 	// heap's backing words raw (eviction preserves page content), and the

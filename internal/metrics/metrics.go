@@ -217,19 +217,39 @@ func (t *Timeline) BMUCurve(lo, hi time.Duration, points int) [][2]float64 {
 
 // Percentile returns the p-th percentile pause. p is clamped to
 // [0, 100]; between sorted samples the value is linearly interpolated
-// rather than truncated to the lower neighbour.
+// rather than truncated to the lower neighbour. Returns 0 with no
+// pauses.
 func (t *Timeline) Percentile(p float64) time.Duration {
-	if len(t.Pauses) == 0 {
+	ds := make([]time.Duration, len(t.Pauses))
+	for i, pa := range t.Pauses {
+		ds[i] = pa.Dur
+	}
+	return percentileOf(ds, p)
+}
+
+// PercentileKind is Percentile restricted to pauses of one kind; it
+// feeds the per-kind rows of the attribution report. Returns 0 when no
+// pause of that kind occurred.
+func (t *Timeline) PercentileKind(kind PauseKind, p float64) time.Duration {
+	var ds []time.Duration
+	for _, pa := range t.Pauses {
+		if pa.Kind == kind {
+			ds = append(ds, pa.Dur)
+		}
+	}
+	return percentileOf(ds, p)
+}
+
+// percentileOf computes the linearly interpolated p-th percentile of ds
+// (consumed: ds is sorted in place). Empty input yields 0.
+func percentileOf(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
 		return 0
 	}
 	if p < 0 {
 		p = 0
 	} else if p > 100 {
 		p = 100
-	}
-	ds := make([]time.Duration, len(t.Pauses))
-	for i, pa := range t.Pauses {
-		ds[i] = pa.Dur
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	pos := p / 100 * float64(len(ds)-1)

@@ -152,6 +152,44 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEmpty(t *testing.T) {
+	var tm Timeline
+	if got := tm.Percentile(99); got != 0 {
+		t.Fatalf("Percentile on empty = %v", got)
+	}
+	if got := tm.AvgPause(); got != 0 {
+		t.Fatalf("AvgPause on empty = %v", got)
+	}
+	if got := tm.PercentileKind(PauseFull, 50); got != 0 {
+		t.Fatalf("PercentileKind on empty = %v", got)
+	}
+	// A timeline with pauses of only one kind still yields 0 for others.
+	tm.Record(Pause{Dur: time.Second, Kind: PauseNursery})
+	if got := tm.PercentileKind(PauseFull, 50); got != 0 {
+		t.Fatalf("PercentileKind with no matching kind = %v", got)
+	}
+}
+
+func TestPercentileKind(t *testing.T) {
+	var tm Timeline
+	for i := 1; i <= 10; i++ {
+		tm.Record(Pause{Dur: time.Duration(i) * time.Millisecond, Kind: PauseNursery})
+	}
+	for i := 1; i <= 10; i++ {
+		tm.Record(Pause{Dur: time.Duration(i) * time.Second, Kind: PauseFull})
+	}
+	if got := tm.PercentileKind(PauseNursery, 100); got != 10*time.Millisecond {
+		t.Fatalf("nursery p100 = %v", got)
+	}
+	if got := tm.PercentileKind(PauseFull, 0); got != time.Second {
+		t.Fatalf("full p0 = %v", got)
+	}
+	// The unfiltered percentile sees both populations.
+	if got := tm.Percentile(100); got != 10*time.Second {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
 		t.Fatalf("Geomean(2,8) = %v", got)

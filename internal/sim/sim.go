@@ -16,6 +16,7 @@ import (
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/telemetry"
 	"bookmarkgc/internal/trace"
 	"bookmarkgc/internal/vmm"
 )
@@ -292,6 +293,12 @@ type RunConfig struct {
 	// only host-side parallelism: results are bit-identical for any
 	// value, so it is not part of a run's identity for caching.
 	MarkWorkers int
+
+	// Telemetry, when non-nil, samples a live time series on the
+	// simulated clock, attributes each pause to its phases, and arms the
+	// flight recorder (internal/telemetry). Like Trace, it observes only:
+	// an instrumented run is bit-identical to an uninstrumented one.
+	Telemetry *telemetry.Collector
 }
 
 // chaosQuantum is the mutator step size between injector safepoints.
@@ -334,6 +341,11 @@ func Run(cfg RunConfig) (res Result) {
 		cfg.Trace.SetClock(clock)
 		tr = cfg.Trace
 	}
+	if cfg.Telemetry != nil {
+		// Wrap before instance assembly so every span the collector emits
+		// flows through the attribution tracer.
+		tr = cfg.Telemetry.Tracer(tr)
+	}
 	src := mutator.Source(cfg.Program)
 	if cfg.Workload != nil {
 		src = cfg.Workload
@@ -342,6 +354,9 @@ func Run(cfg RunConfig) (res Result) {
 		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters, cfg.MarkWorkers)
 	if err != nil {
 		return Result{Config: cfg, Err: err}
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Attach(v, env, col, cfg.Counters)
 	}
 	if cfg.Sink != nil {
 		if sw, ok := run.(interface{ SetSink(mutator.Sink) }); ok {
@@ -361,6 +376,9 @@ func Run(cfg RunConfig) (res Result) {
 	col.Stats().Timeline.Start = start
 	finish := func(mres mutator.Result, failure error) Result {
 		col.Stats().Timeline.End = clock.Now()
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.RunEnded(failure)
+		}
 		r := Result{
 			Config:      cfg,
 			Timeline:    col.Stats().Timeline,

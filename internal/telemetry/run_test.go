@@ -1,0 +1,267 @@
+// Sim-driven tests live in an external package: internal/sim imports
+// telemetry, so in-package tests could not import sim back.
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/sim"
+	"bookmarkgc/internal/telemetry"
+	"bookmarkgc/internal/trace"
+)
+
+// pressuredRun is a small BC run under enough steady pressure to fault:
+// the shape every telemetry test wants, finished in well under a second.
+func pressuredRun(tel *telemetry.Collector, ctrs *trace.Counters, markWorkers int, chaos *fault.Config) sim.Result {
+	scale := 0.02
+	heap := mem.RoundUpPage(uint64(77 * scale * (1 << 20)))
+	phys := mem.RoundUpPage(uint64(110 * scale * (1 << 20)))
+	return sim.Run(sim.RunConfig{
+		Collector: sim.BC,
+		Program:   mutator.PseudoJBB().Scale(scale),
+		HeapBytes: heap,
+		PhysBytes: phys,
+		Pressure:  sim.SteadyPressure(heap, 0.6),
+		Seed:      1,
+		Chaos:     chaos,
+		Telemetry: tel,
+		Counters:  ctrs,
+
+		MarkWorkers: markWorkers,
+	})
+}
+
+func TestSamplerDeterministicAcrossMarkWorkers(t *testing.T) {
+	// The acceptance bar for the telemetry layer: series bytes are a pure
+	// function of the simulated run, so any host-side parallelism level
+	// must produce identical CSV and JSONL output.
+	export := func(workers int) (csv, jsonl []byte) {
+		tel := telemetry.New(telemetry.Config{})
+		r := pressuredRun(tel, trace.NewCounters(), workers, nil)
+		if r.Err != nil {
+			t.Fatalf("run (workers=%d): %v", workers, r.Err)
+		}
+		var cb, jb bytes.Buffer
+		if err := tel.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.WriteJSONL(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), jb.Bytes()
+	}
+	csv1, jsonl1 := export(1)
+	csv8, jsonl8 := export(8)
+	if !bytes.Equal(csv1, csv8) {
+		t.Error("CSV series diverge between mark-workers 1 and 8")
+	}
+	if !bytes.Equal(jsonl1, jsonl8) {
+		t.Error("JSONL series diverge between mark-workers 1 and 8")
+	}
+	if len(bytes.Split(csv1, []byte("\n"))) < 10 {
+		t.Fatalf("suspiciously short CSV:\n%s", csv1)
+	}
+}
+
+func TestTelemetryObservesOnly(t *testing.T) {
+	// An instrumented run must be bit-identical to an uninstrumented one:
+	// the sampler reads bookkeeping and never advances the clock.
+	bare := pressuredRun(nil, nil, 0, nil)
+	tel := telemetry.New(telemetry.Config{})
+	instr := pressuredRun(tel, trace.NewCounters(), 0, nil)
+	if bare.Err != nil || instr.Err != nil {
+		t.Fatalf("runs failed: %v / %v", bare.Err, instr.Err)
+	}
+	if bare.ElapsedSecs != instr.ElapsedSecs {
+		t.Errorf("simulated time perturbed: %v vs %v", bare.ElapsedSecs, instr.ElapsedSecs)
+	}
+	if bare.Mutator.Checksum != instr.Mutator.Checksum {
+		t.Errorf("mutator checksum perturbed: %#x vs %#x", bare.Mutator.Checksum, instr.Mutator.Checksum)
+	}
+	if bare.ProcStats != instr.ProcStats {
+		t.Errorf("fault counts perturbed:\n%+v\n%+v", bare.ProcStats, instr.ProcStats)
+	}
+	if tel.SampleCount() == 0 {
+		t.Fatal("sampler took no samples")
+	}
+}
+
+func TestSampleGridIsArithmetic(t *testing.T) {
+	// Samples land on the fixed grid start + k*interval even when the
+	// clock jumps whole pauses at a time — the property that makes the
+	// series schedule-independent.
+	tel := telemetry.New(telemetry.Config{SampleEvery: time.Millisecond})
+	if r := pressuredRun(tel, nil, 0, nil); r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	times := tel.ColumnTail(telemetry.ColTimeNS, tel.SampleCount())
+	if len(times) < 100 {
+		t.Fatalf("only %d samples", len(times))
+	}
+	for i, ts := range times {
+		if ts != times[0]+int64(i)*int64(time.Millisecond) {
+			t.Fatalf("sample %d at %dns, want %dns (grid broken)",
+				i, ts, times[0]+int64(i)*int64(time.Millisecond))
+		}
+	}
+}
+
+func TestPauseAttributionAccounts(t *testing.T) {
+	// Phase self-times are disjoint by construction, so each pause's
+	// breakdown must sum exactly to its duration.
+	tel := telemetry.New(telemetry.Config{})
+	if r := pressuredRun(tel, nil, 0, nil); r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	pauses := tel.Pauses()
+	if len(pauses) == 0 {
+		t.Fatal("no pauses attributed")
+	}
+	var sawFaults bool
+	for i, p := range pauses {
+		var sum time.Duration
+		for _, ns := range p.PhaseNS {
+			sum += ns
+		}
+		if sum != p.Dur {
+			t.Errorf("pause %d (%s): phase self-times sum to %v, duration is %v",
+				i, p.Kind, sum, p.Dur)
+		}
+		if p.MajorFaults > 0 {
+			sawFaults = true
+			if p.FaultStall == 0 {
+				t.Errorf("pause %d took %d major faults but reports no fault stall",
+					i, p.MajorFaults)
+			}
+		}
+	}
+	if !sawFaults {
+		t.Error("pressured run attributed no in-pause major faults; pressure too weak for the test")
+	}
+}
+
+func TestFlightDumpOnChaos(t *testing.T) {
+	// Under the thrash regime BC is forced into fail-safes; each one must
+	// produce a flight bundle explaining what led up to it.
+	dir := t.TempDir()
+	cfg, ok := fault.ByName("thrash", 1)
+	if !ok {
+		t.Fatal("unknown regime")
+	}
+	tel := telemetry.New(telemetry.Config{FlightDir: dir})
+	ctrs := trace.NewCounters()
+	if r := pressuredRun(tel, ctrs, 0, &cfg); r.Err != nil {
+		t.Fatalf("chaos run: %v", r.Err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no flight bundles written (err=%v)", err)
+	}
+	if int(ctrs.Get(trace.CTelemetryFlightDumps)) != len(paths) {
+		t.Errorf("counter says %d dumps, found %d files",
+			ctrs.Get(trace.CTelemetryFlightDumps), len(paths))
+	}
+	var reasons []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b struct {
+			Schema    string                   `json:"schema"`
+			Reason    string                   `json:"reason"`
+			Collector string                   `json:"collector"`
+			Samples   map[string][]int64       `json:"samples"`
+			Events    []map[string]interface{} `json:"events"`
+			Counters  map[string]uint64        `json:"counters"`
+		}
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", p, err)
+		}
+		if b.Schema != "gcsim-flight/v1" {
+			t.Errorf("%s schema = %q", p, b.Schema)
+		}
+		if b.Collector != "BC" {
+			t.Errorf("%s collector = %q", p, b.Collector)
+		}
+		if len(b.Samples["time_ns"]) == 0 {
+			t.Errorf("%s has no recent samples", p)
+		}
+		if len(b.Events) == 0 {
+			t.Errorf("%s has no flight-ring events", p)
+		}
+		reasons = append(reasons, b.Reason)
+	}
+	joined := strings.Join(reasons, ",")
+	if !strings.Contains(joined, "failsafe") && !strings.Contains(joined, "chaos-escalation") {
+		t.Errorf("no failsafe/chaos-escalation bundle among reasons %q", joined)
+	}
+}
+
+func TestFlightDumpOnLongPause(t *testing.T) {
+	dir := t.TempDir()
+	// A 1ns threshold makes every pause an anomaly; the cap must hold.
+	tel := telemetry.New(telemetry.Config{FlightDir: dir, PauseThreshold: time.Nanosecond, MaxDumps: 3})
+	if r := pressuredRun(tel, nil, 0, nil); r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "flight-*-long-pause.json"))
+	if len(paths) == 0 {
+		t.Fatal("no long-pause bundles written")
+	}
+	all, _ := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if len(all) > 3 {
+		t.Errorf("%d bundles written, MaxDumps was 3", len(all))
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{})
+	if r := pressuredRun(tel, trace.NewCounters(), 0, nil); r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	srv := httptest.NewServer(telemetry.NewMux(telemetry.ServerOptions{Telemetry: tel}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "gcsim_pause_seconds") ||
+		!strings.Contains(body, "gcsim_major_faults_total") {
+		t.Errorf("/metrics: code %d, body %.200s", code, body)
+	}
+	if code, body := get("/api/series?tail=5"); code != 200 || !strings.Contains(body, `"heap_used_pages"`) {
+		t.Errorf("/api/series: code %d, body %.200s", code, body)
+	}
+	if code, body := get("/api/summary"); code != 200 || !strings.Contains(body, `"collector":"BC"`) {
+		t.Errorf("/api/summary: code %d, body %.200s", code, body)
+	}
+	if code, body := get("/api/pauses?tail=3"); code != 200 || !strings.Contains(body, `"kind"`) {
+		t.Errorf("/api/pauses: code %d, body %.200s", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "<html") {
+		t.Errorf("dashboard: code %d, body %.80s", code, body)
+	}
+	if code, _ := get("/api/progress"); code != 404 {
+		t.Errorf("/api/progress without a Progress hook: code %d, want 404", code)
+	}
+}

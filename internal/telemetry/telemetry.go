@@ -1,0 +1,505 @@
+// Package telemetry is the simulator's live observability layer: a
+// deterministic time-series sampler driven by the simulated clock, a
+// per-pause phase-attribution tracer, pause-latency digests, and a
+// flight recorder that dumps a diagnostic bundle when a run goes wrong.
+//
+// Determinism contract: the sampler is scheduled on the simulated clock
+// at a fixed interval and only *reads* bookkeeping (page counts, fault
+// counters, allocation totals) — it never touches pages or advances the
+// clock, so an instrumented run is bit-identical to an uninstrumented
+// one, and the exported series bytes are identical for any -mark-workers
+// or -jobs value. Everything host-visible (HTTP handlers) reads under a
+// mutex; everything sim-side runs on the simulation goroutine.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/metrics"
+	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
+)
+
+// Column identifies one time-series column. Values are int64: either a
+// level read at the sample instant (pages, frames) or a cumulative
+// counter (faults, bytes), whose rate is the per-interval delta.
+type Column int
+
+const (
+	// ColTimeNS is the sample's simulated timestamp in nanoseconds.
+	ColTimeNS Column = iota
+	// ColHeapUsedPages is the collector-accounted heap footprint.
+	ColHeapUsedPages
+	// ColResidentPages is the process's resident page count.
+	ColResidentPages
+	// ColPinnedFrames is memory pinned away by signalmem.
+	ColPinnedFrames
+	// ColFreeFrames is the machine's unallocated frames.
+	ColFreeFrames
+	// ColMinorFaults is the cumulative minor (zero-fill) fault count.
+	ColMinorFaults
+	// ColMajorFaults is the cumulative major (disk) fault count.
+	ColMajorFaults
+	// ColEvictions is the cumulative count of this process's pages evicted.
+	ColEvictions
+	// ColAllocBytes is cumulative bytes allocated by the mutator.
+	ColAllocBytes
+	// ColBookmarks is cumulative objects bookmarked (BC only).
+	ColBookmarks
+	// ColPagesEvicted is cumulative heap pages processed for eviction (BC).
+	ColPagesEvicted
+	// ColGCs is the cumulative collection count (nursery + full).
+	ColGCs
+	// ColInPause is 1 when the sample landed inside a stop-the-world pause.
+	ColInPause
+
+	numColumns
+)
+
+var columnNames = [numColumns]string{
+	ColTimeNS:        "time_ns",
+	ColHeapUsedPages: "heap_used_pages",
+	ColResidentPages: "resident_pages",
+	ColPinnedFrames:  "pinned_frames",
+	ColFreeFrames:    "free_frames",
+	ColMinorFaults:   "minor_faults",
+	ColMajorFaults:   "major_faults",
+	ColEvictions:     "evictions",
+	ColAllocBytes:    "alloc_bytes",
+	ColBookmarks:     "objects_bookmarked",
+	ColPagesEvicted:  "pages_evicted",
+	ColGCs:           "gcs",
+	ColInPause:       "in_pause",
+}
+
+func (c Column) String() string {
+	if int(c) < len(columnNames) {
+		return columnNames[c]
+	}
+	return "invalid"
+}
+
+// NumColumns is the number of series columns (for table-driven tests).
+const NumColumns = int(numColumns)
+
+// Series is the columnar sample store: one slice per column, rows
+// aligned by index.
+type Series struct {
+	cols [numColumns][]int64
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.cols[0]) }
+
+func (s *Series) push(row *[numColumns]int64) {
+	for i := range s.cols {
+		s.cols[i] = append(s.cols[i], row[i])
+	}
+}
+
+// PauseAttr is one pause with its phase breakdown: for every trace span
+// kind, the self time spent in it (time in the span but not in any
+// nested span) and the major faults taken there. The sum of PhaseNS over
+// all phases equals Dur exactly; the pause span's own self time is the
+// uninstrumented remainder ("other"). FaultStall is the portion of the
+// pause spent waiting on the disk: MajorFaults times the machine's
+// major-fault cost, the dominant term in the paper's thrashing pauses.
+type PauseAttr struct {
+	Start       time.Duration
+	Dur         time.Duration
+	Kind        metrics.PauseKind
+	pausePhase  trace.Phase
+	MajorFaults uint64
+	FaultStall  time.Duration
+	PhaseNS     [trace.NumPhases]time.Duration
+	PhaseFaults [trace.NumPhases]uint64
+}
+
+// Other returns the pause's uninstrumented self time: the part of the
+// pause outside every collector phase span.
+func (a *PauseAttr) Other() time.Duration { return a.PhaseNS[a.pausePhase] }
+
+// numPauseKinds covers metrics.PauseNursery/Full/Compact.
+const numPauseKinds = 3
+
+// Config tunes the telemetry layer. The zero value is usable: defaults
+// are filled in by New.
+type Config struct {
+	// SampleEvery is the sampling interval in simulated time (default 1ms).
+	SampleEvery time.Duration
+	// PauseThreshold triggers a flight-recorder dump when a pause meets
+	// it (default 500ms — the order of one disk-bound mark pass).
+	PauseThreshold time.Duration
+	// FlightDir, when non-empty, is where flight-recorder bundles are
+	// written; empty disables dumping (the ring still records).
+	FlightDir string
+	// RingEvents bounds the flight ring (default 4096 events).
+	RingEvents int
+	// SampleTail is how many recent samples a bundle includes (default 256).
+	SampleTail int
+	// MaxDumps bounds bundles written per run (default 16).
+	MaxDumps int
+}
+
+// span is one open trace span on the attribution stack. segStart and
+// segFaults mark where its *current* self-time segment began; nested
+// spans close the segment and reopen it when they end.
+type span struct {
+	phase     trace.Phase
+	segStart  time.Duration
+	segFaults uint64
+}
+
+// Collector accumulates a run's telemetry. Create with New, wrap the
+// run's tracer with Tracer, and hand it to sim.RunConfig.Telemetry —
+// sim.Run calls Attach and RunEnded. All exported readers lock, so an
+// HTTP server can serve snapshots while the simulation runs.
+type Collector struct {
+	mu  sync.Mutex
+	cfg Config
+
+	clock *vmm.Clock
+	v     *vmm.VMM
+	env   *gc.Env
+	col   gc.Collector
+	ctrs  *trace.Counters
+
+	collectorName  string
+	majorFaultCost time.Duration
+
+	next   time.Duration // next sample's grid timestamp
+	series Series
+
+	stack       []span
+	cur         *PauseAttr
+	pauseFaults uint64 // Proc major faults at pause start
+
+	pauses    []PauseAttr
+	digests   [numPauseKinds]Digest
+	allDigest Digest
+
+	ring          flightRing
+	dumpSeq       int
+	lastFailSafes uint64
+	lastBackoffs  uint64
+
+	samplesTaken uint64
+	flightDumps  uint64
+
+	ended  bool
+	runErr error
+}
+
+// New returns a collector with cfg's zero fields defaulted.
+func New(cfg Config) *Collector {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Millisecond
+	}
+	if cfg.PauseThreshold <= 0 {
+		cfg.PauseThreshold = 500 * time.Millisecond
+	}
+	if cfg.RingEvents <= 0 {
+		cfg.RingEvents = 4096
+	}
+	if cfg.SampleTail <= 0 {
+		cfg.SampleTail = 256
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 16
+	}
+	c := &Collector{cfg: cfg}
+	c.ring.init(cfg.RingEvents)
+	return c
+}
+
+// Attach wires the collector to a run and schedules the first sample.
+// Call once, after the environment exists and before the mutator steps.
+func (c *Collector) Attach(v *vmm.VMM, env *gc.Env, col gc.Collector, ctrs *trace.Counters) {
+	c.mu.Lock()
+	c.v = v
+	c.env = env
+	c.col = col
+	c.ctrs = ctrs
+	c.clock = v.Clock
+	c.collectorName = col.Name()
+	c.majorFaultCost = v.Costs().MajorFault
+	c.next = v.Clock.Now()
+	if ctrs != nil {
+		c.lastFailSafes = ctrs.Get(trace.CFailSafesForced)
+		c.lastBackoffs = ctrs.Get(trace.CGCRequestBackoffs)
+	}
+	at := c.next
+	c.mu.Unlock()
+	v.Clock.Schedule(at, c.tick)
+}
+
+// tick is the sampler event: record one sample stamped at its grid time
+// and reschedule one interval later. When the clock jumped several
+// intervals (a long pause), the rescheduled event is already due and
+// fires again within the same Advance, so the grid never skips — sample
+// timestamps are a fixed arithmetic sequence regardless of how the run
+// advanced time, which is what makes series bytes schedule-independent.
+func (c *Collector) tick() {
+	c.mu.Lock()
+	c.sampleLocked(c.next)
+	c.next += c.cfg.SampleEvery
+	at := c.next
+	clock := c.clock
+	c.mu.Unlock()
+	clock.Schedule(at, c.tick)
+}
+
+// sampleLocked appends one row stamped at. Reads bookkeeping only.
+func (c *Collector) sampleLocked(at time.Duration) {
+	if c.ended {
+		return
+	}
+	ps := c.env.Proc.Stats()
+	gs := c.col.Stats()
+	var row [numColumns]int64
+	row[ColTimeNS] = int64(at)
+	row[ColHeapUsedPages] = int64(c.col.UsedPages())
+	row[ColResidentPages] = int64(c.env.Proc.ResidentPages())
+	row[ColPinnedFrames] = int64(c.v.PinnedFrames())
+	row[ColFreeFrames] = int64(c.v.FreeFrames())
+	row[ColMinorFaults] = int64(ps.MinorFaults)
+	row[ColMajorFaults] = int64(ps.MajorFaults)
+	row[ColEvictions] = int64(ps.Evictions)
+	row[ColAllocBytes] = int64(gs.BytesAlloc)
+	row[ColBookmarks] = int64(gs.Bookmarked)
+	row[ColPagesEvicted] = int64(gs.PagesEvicted)
+	row[ColGCs] = int64(gs.Nursery + gs.Full)
+	if c.cur != nil {
+		row[ColInPause] = 1
+	}
+	c.series.push(&row)
+	c.samplesTaken++
+	c.ctrs.Inc(trace.CTelemetrySamples)
+}
+
+// RunEnded finalizes the run: sim.Run calls it from its finish path,
+// with the run's failure (nil on success). An out-of-memory death dumps
+// a flight bundle.
+func (c *Collector) RunEnded(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ended {
+		return
+	}
+	c.ended = true
+	c.runErr = err
+	if err != nil {
+		c.dumpLocked("oom")
+	}
+}
+
+// pausePhaseKind maps a pause span to its metrics kind, or false when p
+// is not a pause span.
+func pausePhaseKind(p trace.Phase) (metrics.PauseKind, bool) {
+	switch p {
+	case trace.PhasePauseNursery:
+		return metrics.PauseNursery, true
+	case trace.PhasePauseFull:
+		return metrics.PauseFull, true
+	case trace.PhasePauseCompact:
+		return metrics.PauseCompact, true
+	}
+	return 0, false
+}
+
+// charge adds a closed self-time segment to the active pause's buckets.
+func (c *Collector) charge(p trace.Phase, dur time.Duration, faults uint64) {
+	if c.cur == nil {
+		return
+	}
+	c.cur.PhaseNS[p] += dur
+	c.cur.PhaseFaults[p] += faults
+}
+
+// spanBegin handles a Begin from the wrapped tracer.
+func (c *Collector) spanBegin(p trace.Phase) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clock == nil {
+		return
+	}
+	now := c.clock.Now()
+	faults := c.env.Proc.Stats().MajorFaults
+	c.ring.push(flightEvent{TimeNS: int64(now), Kind: "begin", Name: p.String()}, c.ctrs)
+	if n := len(c.stack); n > 0 {
+		top := &c.stack[n-1]
+		c.charge(top.phase, now-top.segStart, faults-top.segFaults)
+	} else if kind, ok := pausePhaseKind(p); ok {
+		c.cur = &PauseAttr{Start: now, Kind: kind, pausePhase: p}
+		c.pauseFaults = faults
+	}
+	c.stack = append(c.stack, span{phase: p, segStart: now, segFaults: faults})
+	if p == trace.PhaseFailSafe {
+		c.dumpLocked("failsafe")
+	}
+}
+
+// spanEnd handles an End from the wrapped tracer: close the top span's
+// segment, pop it, and restart the parent's segment. When the popped
+// span was the pause itself, finalize and record the attribution.
+func (c *Collector) spanEnd(p trace.Phase) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clock == nil || len(c.stack) == 0 {
+		return
+	}
+	now := c.clock.Now()
+	faults := c.env.Proc.Stats().MajorFaults
+	c.ring.push(flightEvent{TimeNS: int64(now), Kind: "end", Name: p.String()}, c.ctrs)
+	top := c.stack[len(c.stack)-1]
+	c.charge(top.phase, now-top.segStart, faults-top.segFaults)
+	c.stack = c.stack[:len(c.stack)-1]
+	if n := len(c.stack); n > 0 {
+		parent := &c.stack[n-1]
+		parent.segStart = now
+		parent.segFaults = faults
+		return
+	}
+	if c.cur == nil {
+		return
+	}
+	attr := c.cur
+	c.cur = nil
+	attr.Dur = now - attr.Start
+	attr.MajorFaults = faults - c.pauseFaults
+	attr.FaultStall = time.Duration(attr.MajorFaults) * c.majorFaultCost
+	c.pauses = append(c.pauses, *attr)
+	c.digests[attr.Kind].ObserveDuration(attr.Dur)
+	c.allDigest.ObserveDuration(attr.Dur)
+	if attr.Dur >= c.cfg.PauseThreshold {
+		c.dumpLocked("long-pause")
+	}
+	if c.ctrs != nil {
+		fs, bo := c.ctrs.Get(trace.CFailSafesForced), c.ctrs.Get(trace.CGCRequestBackoffs)
+		if fs > c.lastFailSafes || bo > c.lastBackoffs {
+			c.lastFailSafes, c.lastBackoffs = fs, bo
+			c.dumpLocked("chaos-escalation")
+		}
+	}
+}
+
+// point handles a Point from the wrapped tracer: flight-ring only.
+func (c *Collector) point(e trace.Event, a1, a2 int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clock == nil {
+		return
+	}
+	c.ring.push(flightEvent{
+		TimeNS: int64(c.clock.Now()), Kind: "point", Name: e.String(), Arg1: a1, Arg2: a2,
+	}, c.ctrs)
+}
+
+// attributor is the tracer wrapper Tracer returns: every event goes to
+// the inner tracer unchanged, then feeds the attribution and the flight
+// ring. It reads the clock but never advances it.
+type attributor struct {
+	inner trace.Tracer
+	c     *Collector
+}
+
+func (a attributor) Enabled() bool { return true }
+
+func (a attributor) Begin(p trace.Phase) {
+	a.inner.Begin(p)
+	a.c.spanBegin(p)
+}
+
+func (a attributor) End(p trace.Phase) {
+	a.c.spanEnd(p)
+	a.inner.End(p)
+}
+
+func (a attributor) Point(e trace.Event, a1, a2 int64) {
+	a.inner.Point(e, a1, a2)
+	a.c.point(e, a1, a2)
+}
+
+// Tracer wraps inner (which may be trace.Nop{}) so the collector sees
+// every span and point the run emits.
+func (c *Collector) Tracer(inner trace.Tracer) trace.Tracer {
+	if inner == nil {
+		inner = trace.Nop{}
+	}
+	return attributor{inner: inner, c: c}
+}
+
+// --- snapshot accessors (all lock; safe while the run is in flight) ---
+
+// SampleCount returns the number of samples taken.
+func (c *Collector) SampleCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.series.Len()
+}
+
+// ColumnTail returns up to tail recent values of column col (all when
+// tail <= 0).
+func (c *Collector) ColumnTail(col Column, tail int) []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src := c.series.cols[col]
+	if tail > 0 && tail < len(src) {
+		src = src[len(src)-tail:]
+	}
+	out := make([]int64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Pauses returns a copy of every attributed pause so far.
+func (c *Collector) Pauses() []PauseAttr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PauseAttr, len(c.pauses))
+	copy(out, c.pauses)
+	return out
+}
+
+// DigestAll returns a copy of the combined pause digest.
+func (c *Collector) DigestAll() Digest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allDigest
+}
+
+// DigestKind returns a copy of the pause digest for one kind.
+func (c *Collector) DigestKind(k metrics.PauseKind) Digest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(k) >= numPauseKinds {
+		return Digest{}
+	}
+	return c.digests[k]
+}
+
+// FlightDumps returns the number of flight bundles written.
+func (c *Collector) FlightDumps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.flightDumps)
+}
+
+// CollectorName returns the attached collector's name ("" before Attach).
+func (c *Collector) CollectorName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.collectorName
+}
+
+// SimTime returns the last sampled simulated timestamp.
+func (c *Collector) SimTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.series.Len(); n > 0 {
+		return time.Duration(c.series.cols[ColTimeNS][n-1])
+	}
+	return 0
+}

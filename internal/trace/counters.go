@@ -155,6 +155,20 @@ const (
 	// worker swept every deque, found nothing, and re-checked for quiescence.
 	CMarkTermRounds
 
+	// Telemetry counters (internal/telemetry): the live-sampling layer's
+	// own bookkeeping. Samples and flight dumps are clock-driven and
+	// deterministic; ring drops depend on how much history the flight
+	// recorder was configured to keep and never appear in experiment
+	// reports, which must stay byte-identical across schedules.
+
+	// CTelemetrySamples counts time-series samples taken by the sampler.
+	CTelemetrySamples
+	// CTelemetryFlightDumps counts flight-recorder bundles written.
+	CTelemetryFlightDumps
+	// CTelemetryRingDrops counts flight-ring entries overwritten before
+	// any dump captured them.
+	CTelemetryRingDrops
+
 	numCounters
 )
 
@@ -212,6 +226,9 @@ var counterNames = [numCounters]string{
 	CMarkSteals:             "mark_steals",
 	CMarkStealFails:         "mark_steal_fails",
 	CMarkTermRounds:         "mark_termination_rounds",
+	CTelemetrySamples:       "telemetry_samples",
+	CTelemetryFlightDumps:   "telemetry_flight_dumps",
+	CTelemetryRingDrops:     "telemetry_ring_drops",
 }
 
 // MarkCounters lists the mark counter group in declaration order —
@@ -221,6 +238,12 @@ func MarkCounters() []Counter {
 		CMarkRounds, CMarkObjects, CMarkBytes,
 		CMarkSteals, CMarkStealFails, CMarkTermRounds,
 	}
+}
+
+// TelemetryCounters lists the telemetry counter group in declaration
+// order — the inventory gcsim -list prints.
+func TelemetryCounters() []Counter {
+	return []Counter{CTelemetrySamples, CTelemetryFlightDumps, CTelemetryRingDrops}
 }
 
 func (c Counter) String() string {

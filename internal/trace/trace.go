@@ -43,6 +43,9 @@ const (
 	PhaseCheneyForward
 	// PhaseFailSafe is the completeness fail-safe collection (§3.5).
 	PhaseFailSafe
+	// PhaseRootScan is the stack/global root enumeration at the start of
+	// a collection (all collectors).
+	PhaseRootScan
 
 	numPhases
 )
@@ -57,6 +60,7 @@ var phaseNames = [numPhases]string{
 	PhaseCompactSelect: "compact-select",
 	PhaseCheneyForward: "cheney-forward",
 	PhaseFailSafe:      "failsafe",
+	PhaseRootScan:      "root-scan",
 }
 
 func (p Phase) String() string {

@@ -220,6 +220,7 @@ func (v *VMM) NewProc(name string, spaceBytes uint64) *Proc {
 // makeResident allocates a frame for (p, pg), reclaiming if needed.
 func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
 	v.used++
+	p.resident++
 	pi := &p.pages[pg]
 	pi.state = Resident
 	pi.referenced = true
@@ -380,6 +381,7 @@ func (v *VMM) refillInactive() {
 func (v *VMM) evict(p *Proc, pg mem.PageID) {
 	pi := &p.pages[pg]
 	pi.state = Evicted
+	p.resident--
 	pi.protected = false
 	pi.surrendered = false
 	pi.queued = false
@@ -401,13 +403,14 @@ type ProcStats struct {
 // Proc is one process: an address space plus its page table. It
 // implements mem.Toucher, so it is the Space's access observer.
 type Proc struct {
-	vmm     *VMM
-	id      int32
-	name    string
-	space   *mem.Space
-	pages   []pageInfo
-	handler Handler
-	stats   ProcStats
+	vmm      *VMM
+	id       int32
+	name     string
+	space    *mem.Space
+	pages    []pageInfo
+	handler  Handler
+	stats    ProcStats
+	resident int // maintained count of Resident pages, so sampling is O(1)
 }
 
 // Space returns the process's address space.
@@ -505,6 +508,7 @@ func (p *Proc) Discard(pg mem.PageID) {
 	switch pi.state {
 	case Resident:
 		p.vmm.used--
+		p.resident--
 	case Fresh:
 		// Nothing to drop, but still zero below for uniformity.
 	}
@@ -576,15 +580,9 @@ func (p *Proc) Unlock(pg mem.PageID) { p.pages[pg].locked = false }
 func (p *Proc) FreeFramesHint() int { return p.vmm.FreeFrames() }
 
 // ResidentPages returns the number of this process's resident pages.
-func (p *Proc) ResidentPages() int {
-	n := 0
-	for i := range p.pages {
-		if p.pages[i].state == Resident {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained at every state transition, so the live
+// telemetry sampler can read it each tick without walking the table.
+func (p *Proc) ResidentPages() int { return p.resident }
 
 // String implements fmt.Stringer for diagnostics.
 func (p *Proc) String() string {
