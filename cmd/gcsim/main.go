@@ -28,6 +28,16 @@
 //	(drop, delay, duplicate, reorder, no-notify, reload-storm,
 //	thrash); -chaos-seed drives the injector's PRNG
 //
+// -fleet s   runs a multi-tenant fleet sharing one machine: s is a
+//
+//	tenant-spec JSON file, or mixedN for the stock N-tenant mixed
+//	fleet (BC alternating with non-cooperating collectors, two
+//	noisy neighbors). Reuses -phys/-scale/-seed/-chaos-seed/
+//	-flight-dump-dir/-mark-workers; -fleet-policy picks the
+//	eviction-arbitration policy (global-lru, proportional,
+//	cooperative). The report is byte-identical for any
+//	-mark-workers value.
+//
 // -trace f   writes GC phase spans and VM-cooperation events to f
 // -counters  prints the event-counter registry after the run
 //
@@ -94,6 +104,8 @@ func main() {
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
 		chaos     = flag.String("chaos", "", "inject kernel faults: drop, delay, duplicate, reorder, no-notify, reload-storm, thrash")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's PRNG")
+		fleetArg  = flag.String("fleet", "", "run a multi-tenant fleet: a tenant-spec JSON file, or mixedN for the stock N-tenant mixed fleet")
+		fleetPol  = flag.String("fleet-policy", "", "fleet eviction-arbitration policy: global-lru, proportional, cooperative (overrides the spec)")
 		traceOut  = flag.String("trace", "", "write a GC event trace to this file")
 		traceFmt  = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
 		counters  = flag.Bool("counters", false, "print the event-counter registry after the run")
@@ -186,6 +198,36 @@ func main() {
 	// RunMulti calls below also pass it explicitly. Simulation output is
 	// bit-identical for any value (DESIGN.md §11).
 	gc.SetDefaultMarkWorkers(*markWkrs)
+
+	if *fleetPol != "" && *fleetArg == "" {
+		fail("-fleet-policy needs -fleet")
+	}
+	if *fleetArg != "" {
+		// A fleet run carries its whole configuration in the spec;
+		// single-run flags conflict. -phys/-seed/-chaos-seed override the
+		// spec when explicitly given; -flight-dump-dir arms the per-tenant
+		// flight recorders and the cascade bundles.
+		if *jvms > 1 || *runs > 1 || *chaos != "" || *bmu || *traceOut != "" ||
+			*stealFrac > 0 || *availMB > 0 || *counters ||
+			*httpAddr != "" || *telemOut != "" || sampleEverySet {
+			fail("-fleet runs carry their configuration in the spec; drop the single-run flags")
+		}
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runFleetCLI(*fleetArg, fleetOpts{
+			policy:    *fleetPol,
+			scale:     *scale,
+			seed:      *seed,
+			chaosSeed: *chaosSeed,
+			physMB:    *physMB,
+			physSet:   set["phys"],
+			seedSet:   set["seed"],
+			chaosSet:  set["chaos-seed"],
+			flightDir: *flightDir,
+			markWkrs:  *markWkrs,
+		})
+		return
+	}
 
 	prog, ok := mutator.ByName(*program)
 	if !ok {

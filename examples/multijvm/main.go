@@ -3,6 +3,11 @@
 // cannot hold them both. With a VM-oblivious collector, paging
 // effectively serializes the two instances; the bookmarking collector
 // keeps both responsive.
+//
+// RunMulti is a thin wrapper over the fleet engine (internal/sim
+// RunFleet) with the arbiter, cascade detector, and fleet telemetry
+// left uninstalled — this example's output is byte-identical to what it
+// printed before the fleet engine existed, and golden.txt pins that.
 package main
 
 import (

@@ -114,6 +114,7 @@ func Experiments() []Experiment {
 		{"fig7", "two JVMs: execution time and mean pause", Fig7},
 		{"ablate", "ablations of BC design choices (§7, DESIGN.md)", Ablations},
 		{"replay", "one recorded trace replayed across collectors", Replay},
+		{"fleet", "16-tenant shared machine: arbitration policy vs fleet survival", Fleet},
 	}
 }
 

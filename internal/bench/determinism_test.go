@@ -27,12 +27,13 @@ func renderAll(t *testing.T, e Experiment, o Options, workers int) []byte {
 // a pure function of the experiment's inputs — identical whether jobs
 // run on 1 worker or 8, for more than one seed. fig4 covers the
 // two-batch (baseline then calibrated-pressure) emission shape; fig7
-// covers multi-JVM jobs.
+// covers multi-JVM jobs; fleet covers multi-tenant fleet jobs with
+// chaos, arbitration, and the cascade ladder.
 func TestReportDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs fig4 and fig7 four times; the engine-level half (internal/runner TestSchedulingDeterminism) still runs under -short")
+		t.Skip("runs fig4, fig7, and fleet four times; the engine-level half (internal/runner TestSchedulingDeterminism) still runs under -short")
 	}
-	for _, id := range []string{"fig4", "fig7"} {
+	for _, id := range []string{"fig4", "fig7", "fleet"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("unknown experiment %s", id)

@@ -66,6 +66,20 @@ type Config struct {
 	SpikeFrac   float64
 }
 
+// TenantSeed derives tenant t's injector seed from a fleet-wide chaos
+// seed with a splitmix64-style finalizer. Seeding each tenant's PRNG
+// with `seed+t` would correlate fault schedules across the fleet (linear
+// seeds land in nearby PRNG streams); the avalanche mix makes every
+// tenant's schedule statistically independent while keeping the whole
+// fleet reproducible from the single chaos seed.
+func TenantSeed(chaosSeed int64, tenant int) int64 {
+	z := uint64(chaosSeed) + 0x9e3779b97f4a7c15*uint64(tenant+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Regimes lists the named fault regimes, in documentation order.
 func Regimes() []string {
 	return []string{"drop", "delay", "duplicate", "reorder", "no-notify", "reload-storm", "thrash"}

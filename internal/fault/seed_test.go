@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/vmm"
+)
+
+// recorder captures which notifications survive the injector.
+type recorder struct {
+	evicts  []mem.PageID
+	reloads []mem.PageID
+}
+
+func (r *recorder) EvictionScheduled(p mem.PageID)      { r.evicts = append(r.evicts, p) }
+func (r *recorder) PageReloaded(p mem.PageID, was bool) { r.reloads = append(r.reloads, p) }
+
+// schedule plays a fixed notification stream through an injector seeded
+// for one tenant and returns the indices of evictions that got through.
+func schedule(t *testing.T, chaosSeed int64, tenant int) []mem.PageID {
+	t.Helper()
+	c := vmm.NewClock()
+	v := vmm.New(c, 256*mem.PageSize, vmm.DefaultCosts())
+	p := v.NewProc("t", 64*mem.PageSize)
+	rec := &recorder{}
+	p.Register(rec)
+	cfg, ok := ByName("drop", TenantSeed(chaosSeed, tenant))
+	if !ok {
+		t.Fatal("regime missing")
+	}
+	inj := Interpose(p, cfg, nil)
+	for k := 0; k < 200; k++ {
+		inj.EvictionScheduled(mem.PageID(k % 64))
+	}
+	inj.Safepoint()
+	return rec.evicts
+}
+
+func equalPages(a, b []mem.PageID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTenantSchedulesIndependent: two tenants under the same fleet
+// chaos-seed must see different fault schedules, and each tenant's
+// schedule must replay bit-identically.
+func TestTenantSchedulesIndependent(t *testing.T) {
+	const chaosSeed = 42
+	s0 := schedule(t, chaosSeed, 0)
+	s1 := schedule(t, chaosSeed, 1)
+	if equalPages(s0, s1) {
+		t.Fatalf("tenants 0 and 1 share a fault schedule under chaos-seed %d", chaosSeed)
+	}
+	if !equalPages(s0, schedule(t, chaosSeed, 0)) {
+		t.Fatal("tenant 0 schedule not reproducible")
+	}
+	if !equalPages(s1, schedule(t, chaosSeed, 1)) {
+		t.Fatal("tenant 1 schedule not reproducible")
+	}
+}
+
+// TestTenantSeedAvalanche: adjacent chaos seeds and adjacent tenants must
+// not produce clustered seeds (the failure mode of seed+tenant).
+func TestTenantSeedAvalanche(t *testing.T) {
+	seen := make(map[int64]bool)
+	for s := int64(0); s < 8; s++ {
+		for tn := 0; tn < 32; tn++ {
+			d := TenantSeed(s, tn)
+			if seen[d] {
+				t.Fatalf("collision: TenantSeed(%d,%d)=%d already produced", s, tn, d)
+			}
+			seen[d] = true
+		}
+	}
+	// Consecutive tenants must differ in many bits, not just the low ones.
+	a, b := TenantSeed(7, 0), TenantSeed(7, 1)
+	diff := 0
+	for x := uint64(a) ^ uint64(b); x != 0; x &= x - 1 {
+		diff++
+	}
+	if diff < 16 {
+		t.Fatalf("TenantSeed(7,0) and TenantSeed(7,1) differ in only %d bits", diff)
+	}
+}

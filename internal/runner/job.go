@@ -70,6 +70,12 @@ type Job struct {
 	// instead of running Program's generator. Program may be left zero
 	// (or set for display; it still participates in the hash).
 	Trace *TraceRef `json:"trace,omitempty"`
+
+	// Fleet, when non-nil, runs a multi-tenant fleet (sim.RunFleet)
+	// described entirely by the spec; the single-run fields above must be
+	// left zero (Collector/Program/Heap/Phys live inside the spec). The
+	// spec is a pure value, so it hashes with the job.
+	Fleet *sim.FleetSpec `json:"fleet,omitempty"`
 }
 
 // Hash returns the job's canonical content hash: hex SHA-256 of its JSON
@@ -97,6 +103,14 @@ func (j Job) validate() error {
 	}
 	if j.Trace != nil && j.Trace.Path == "" {
 		return fmt.Errorf("runner: trace %q has no resolved path on this machine", j.Trace.Name)
+	}
+	if j.Fleet != nil {
+		if j.JVMs > 1 || j.Pressure != nil || j.Chaos != nil || j.Trace != nil {
+			return fmt.Errorf("runner: fleet jobs carry their whole configuration in the spec (jvms/pressure/chaos/trace must be unset)")
+		}
+		if err := j.Fleet.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -152,6 +166,25 @@ func execute(j Job) *Result {
 			return res
 		}
 		src = s
+	}
+	if j.Fleet != nil {
+		fr := sim.RunFleet(sim.FleetConfig{
+			Spec:     *j.Fleet,
+			Costs:    j.Costs,
+			Counters: ctrs,
+		})
+		if fr.Err != nil {
+			res.Err = fr.Err.Error()
+			return res
+		}
+		for i, r := range fr.Tenants {
+			rd := newRunData(r)
+			rd.Name = fr.Names[i]
+			res.Runs = append(res.Runs, rd)
+		}
+		res.Fleet = newFleetData(fr)
+		res.Counters = countersMap(ctrs)
+		return res
 	}
 	if j.JVMs > 1 {
 		rs := sim.RunMulti(sim.MultiConfig{

@@ -22,6 +22,9 @@ type Pause struct {
 // that the experiment reduces consume. A single-process job yields one;
 // a multi-JVM job yields one per instance.
 type RunData struct {
+	// Name labels the run within its job (fleet tenants); empty for
+	// single-process and identical-multi-JVM runs.
+	Name           string        `json:"name,omitempty"`
 	ElapsedSecs    float64       `json:"elapsed_secs"`
 	StartNS        int64         `json:"start_ns"`
 	EndNS          int64         `json:"end_ns"`
@@ -93,12 +96,49 @@ func (rd RunData) Timeline() metrics.Timeline {
 	return t
 }
 
+// FleetData is the fleet-level outcome of a fleet job: what no
+// per-tenant RunData can carry — arbitration, cascades, and the
+// cross-tenant aggregates the fleet experiment reduces.
+type FleetData struct {
+	InitialPolicy  string  `json:"initial_policy"`
+	FinalPolicy    string  `json:"final_policy"`
+	Cascades       int     `json:"cascades"`
+	Escalated      bool    `json:"escalated,omitempty"`
+	AggMinorFaults uint64  `json:"agg_minor_faults"`
+	AggMajorFaults uint64  `json:"agg_major_faults"`
+	AggEvictions   uint64  `json:"agg_evictions"`
+	ArbiterVetoes  uint64  `json:"arbiter_vetoes"`
+	Fairness       float64 `json:"eviction_fairness"`
+	// PauseP99NS is each tenant's p99 pause, aligned with Result.Runs.
+	PauseP99NS []int64 `json:"pause_p99_ns,omitempty"`
+}
+
+// newFleetData flattens a fleet result's fleet-level measurements.
+func newFleetData(fr sim.FleetResult) *FleetData {
+	return &FleetData{
+		InitialPolicy:  string(fr.InitialPolicy),
+		FinalPolicy:    string(fr.Policy),
+		Cascades:       fr.Cascades,
+		Escalated:      fr.Escalated,
+		AggMinorFaults: fr.AggMinorFaults,
+		AggMajorFaults: fr.AggMajorFaults,
+		AggEvictions:   fr.AggEvictions,
+		ArbiterVetoes:  fr.ArbiterVetoes,
+		Fairness:       fr.Fairness,
+		PauseP99NS:     fr.PauseP99NS,
+	}
+}
+
 // Result is one job's outcome, keyed by the job's content hash. It is
 // immutable once published: the pool shares one *Result between
 // duplicate jobs and cache hits.
 type Result struct {
 	Hash string    `json:"hash"`
 	Runs []RunData `json:"runs,omitempty"`
+
+	// Fleet carries the fleet-level measurements of a fleet job (nil
+	// otherwise); Runs then holds one entry per tenant, named.
+	Fleet *FleetData `json:"fleet,omitempty"`
 
 	// Counters carries the job's event-counter totals by name when the
 	// job asked for them. Deliberately not omitempty: an enabled-but-empty

@@ -1,0 +1,659 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/mem"
+	"bookmarkgc/internal/mutator"
+	"bookmarkgc/internal/telemetry"
+	"bookmarkgc/internal/trace"
+	"bookmarkgc/internal/vmm"
+	"bookmarkgc/internal/workload"
+)
+
+// ArbitrationPolicy names a fleet eviction-arbitration policy: how the
+// machine chooses which tenant loses a page when the fleet is short.
+type ArbitrationPolicy string
+
+const (
+	// PolicyGlobalLRU approves whatever the clock algorithm proposes —
+	// the kernel's native behaviour, blind to tenant identity.
+	PolicyGlobalLRU ArbitrationPolicy = "global-lru"
+	// PolicyProportional vetoes evictions from tenants already at or
+	// below their weighted share of the machine, pushing pressure toward
+	// whoever is over budget (the MemBalancer-style composition rule).
+	PolicyProportional ArbitrationPolicy = "proportional"
+	// PolicyCooperative shields tenants that registered for paging
+	// notifications (BC and kin) while any non-cooperating tenant still
+	// holds reclaimable residency: cooperators can shrink gracefully on
+	// their own, so forced eviction goes to those who cannot.
+	PolicyCooperative ArbitrationPolicy = "cooperative"
+)
+
+// ArbitrationPolicies lists every policy, in documentation order.
+var ArbitrationPolicies = []ArbitrationPolicy{PolicyGlobalLRU, PolicyProportional, PolicyCooperative}
+
+// TenantSpec describes one fleet tenant: a pure, serializable value.
+// Exactly one workload source applies, in precedence order: TracePath
+// (a recorded .gctrace file), Synth (a synthesized trace), else Program
+// (the generated benchmark).
+type TenantSpec struct {
+	// Name labels the tenant everywhere (trace threads, flight dumps,
+	// reports); empty defaults to "<collector>-<index>".
+	Name      string        `json:"name,omitempty"`
+	Collector CollectorKind `json:"collector"`
+	HeapBytes uint64        `json:"heap_bytes"`
+
+	Program   mutator.Spec          `json:"program,omitempty"`
+	Synth     *workload.SynthParams `json:"synth,omitempty"`
+	TracePath string                `json:"trace_path,omitempty"`
+
+	// Seed drives the tenant's workload generator (ignored for traces).
+	Seed int64 `json:"seed,omitempty"`
+	// Chaos, when non-empty, is a fault regime name (fault.Regimes). The
+	// tenant's injector seed derives from the fleet chaos seed and the
+	// tenant index via fault.TenantSeed, so schedules are independent.
+	Chaos string `json:"chaos,omitempty"`
+	// AdmitAtNS delays the tenant's first quantum until the given
+	// simulated time: staggered admission, and the lever the admission
+	// throttle pushes on when the fleet cascades.
+	AdmitAtNS int64 `json:"admit_at_ns,omitempty"`
+	// Weight is the tenant's proportional-share weight (default 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// FleetSpec is the serializable description of one fleet run: the
+// tenants, the machine, the arbitration policy, and the degradation
+// ladder. It is a pure value — runner jobs hash it as-is.
+type FleetSpec struct {
+	Tenants   []TenantSpec `json:"tenants"`
+	PhysBytes uint64       `json:"phys_bytes"`
+	// Quantum is allocations per scheduling turn (default 512).
+	Quantum int `json:"quantum,omitempty"`
+	// Seed offsets every tenant's workload seed (tenant i runs with
+	// Seed + TenantSpec.Seed + i).
+	Seed int64 `json:"seed,omitempty"`
+	// ChaosSeed is the fleet-wide chaos seed tenant injector seeds
+	// derive from.
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// Policy is the starting arbitration policy (default global-lru).
+	Policy ArbitrationPolicy `json:"policy,omitempty"`
+
+	// Degradation ladder. The cascade detector samples the fleet-wide
+	// major-fault rate every CascadeWindowNS of simulated time; when the
+	// per-window count meets CascadeMajorFaults for CascadeSustain
+	// consecutive windows, the fleet has cascaded: the arbiter escalates
+	// to EscalateTo (when set), the noisiest tenant is backpressured
+	// (when Backpressure), unadmitted tenants are pushed back (when
+	// AdmissionThrottle), and a fleet flight bundle is written. A zero
+	// CascadeMajorFaults disables the detector.
+	CascadeWindowNS    int64             `json:"cascade_window_ns,omitempty"`
+	CascadeMajorFaults uint64            `json:"cascade_major_faults,omitempty"`
+	CascadeSustain     int               `json:"cascade_sustain,omitempty"`
+	EscalateTo         ArbitrationPolicy `json:"escalate_to,omitempty"`
+	Backpressure       bool              `json:"backpressure,omitempty"`
+	AdmissionThrottle  bool              `json:"admission_throttle,omitempty"`
+}
+
+// FleetConfig couples a FleetSpec with the host-side knobs that do not
+// affect simulated outcomes (and so stay out of job hashes).
+type FleetConfig struct {
+	Spec  FleetSpec
+	Costs *vmm.Costs // nil = DefaultCosts
+
+	// Trace gives each tenant its own named thread in one shared
+	// recorder; Counters is one registry shared by every tenant.
+	Trace    *trace.Recorder
+	Counters *trace.Counters
+
+	// Workloads, when non-nil, overrides tenant i's workload source with
+	// Workloads[i] (nil entries fall back to the spec). RunMulti uses it
+	// to share one trace source across identical tenants.
+	Workloads []mutator.Source
+
+	// FlightDir arms a per-tenant telemetry collector on each tenant,
+	// tagged with the tenant's name, plus the fleet-level cascade
+	// bundles; all dumps draw on one shared DumpQuota.
+	FlightDir string
+	// MaxDumpsPerTenant bounds each tenant's share of the dump budget
+	// (default 4).
+	MaxDumpsPerTenant int
+
+	// MarkWorkers overrides the parallel mark engine's worker count for
+	// every tenant (0 = default). Output is bit-identical for any value.
+	MarkWorkers int
+
+	// AfterCollection, when set, runs after every collection of any
+	// tenant whose collector exposes OnCollectionEnd (the BC family) —
+	// the hook fleet soak tests hang invariant and accounting checks on.
+	// The machine is passed so checks can audit cross-owner bookkeeping.
+	AfterCollection func(tenant int, col gc.Collector, v *vmm.VMM)
+}
+
+// FleetResult is the outcome of one fleet run.
+type FleetResult struct {
+	// Tenants holds one Result per tenant, in spec order.
+	Tenants []Result
+	// Names are the resolved tenant names, index-aligned with Tenants.
+	Names []string
+
+	// InitialPolicy and Policy are the arbitration policy at the start
+	// and end of the run (they differ iff the ladder escalated).
+	InitialPolicy ArbitrationPolicy
+	Policy        ArbitrationPolicy
+	Cascades      int
+	Escalated     bool
+
+	// Fleet aggregates.
+	AggMinorFaults uint64
+	AggMajorFaults uint64
+	AggEvictions   uint64
+	ArbiterVetoes  uint64
+	// PauseP99NS is each tenant's 99th-percentile pause, index-aligned.
+	PauseP99NS []int64
+	// Fairness is Jain's index over per-tenant eviction counts: 1.0 is
+	// perfectly even pressure, 1/n is one tenant absorbing everything.
+	Fairness float64
+
+	// ElapsedSecs is the fleet's total simulated time.
+	ElapsedSecs float64
+	VMM         vmm.Stats
+
+	// FleetDumps are the cascade bundle paths written (FlightDir only).
+	FleetDumps []string
+
+	// Err is a configuration-level failure (unknown collector, bad
+	// regime, unreadable trace): nothing ran. ErrTenant is the tenant
+	// index it arose on, -1 for fleet-level problems.
+	Err       error
+	ErrTenant int
+}
+
+// tenant is one fleet member's runtime state.
+type tenant struct {
+	id   int
+	spec TenantSpec
+	name string
+
+	env *gc.Env
+	col gc.Collector
+	run mutator.Workload
+	inj *fault.Injector
+	tel *telemetry.Collector
+
+	admitAt      time.Duration
+	penaltySkips int
+	lastMajor    uint64 // detector snapshot for noisiest-tenant attribution
+
+	done   bool
+	failed error
+}
+
+// fleetArbiter maps vmm.Arbiter onto the current policy. Escalation
+// swaps the mode, not the arbiter, so mid-run policy changes are a
+// single field write on the simulated thread.
+type fleetArbiter struct {
+	f    *fleetRun
+	mode ArbitrationPolicy
+}
+
+func (a *fleetArbiter) Approve(owner *vmm.Proc, pg mem.PageID) bool {
+	switch a.mode {
+	case PolicyProportional:
+		t, ok := a.f.byProc[owner]
+		if !ok {
+			return true
+		}
+		return owner.ResidentPages() > a.f.shareFrames(t)
+	case PolicyCooperative:
+		if owner.Handler() == nil {
+			return true
+		}
+		// Shield the cooperator only while some non-cooperating tenant
+		// still has meaningful residency to give up.
+		return !a.f.uncoopHasSlack()
+	default:
+		return true
+	}
+}
+
+// uncoopSlackFloor is the residency (pages) below which a
+// non-cooperating tenant no longer counts as an eviction target.
+const uncoopSlackFloor = 32
+
+// fleetRun is the live fleet engine state.
+type fleetRun struct {
+	cfg     FleetConfig
+	clock   *vmm.Clock
+	v       *vmm.VMM
+	tenants []*tenant
+	byProc  map[*vmm.Proc]*tenant
+	arbiter *fleetArbiter
+	quota   *telemetry.DumpQuota
+
+	quantum     int
+	totalWeight int
+
+	// Cascade detector state.
+	hotWindows int
+	windowLast uint64
+	cascades   int
+	escalated  bool
+	fleetDumps []string
+	dumpSeq    int
+}
+
+// shareFrames is tenant t's weighted share of the machine's frames.
+func (f *fleetRun) shareFrames(t *tenant) int {
+	w := t.spec.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return f.v.TotalFrames() * w / f.totalWeight
+}
+
+// uncoopHasSlack reports whether any non-cooperating tenant still holds
+// enough residency to be a reasonable victim.
+func (f *fleetRun) uncoopHasSlack() bool {
+	for _, t := range f.tenants {
+		if t.env.Proc.Handler() == nil && t.env.Proc.ResidentPages() > uncoopSlackFloor {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveSource picks tenant i's workload source per the documented
+// precedence: config override, recorded trace, synthesized trace,
+// generated program.
+func (f *fleetRun) resolveSource(i int, spec TenantSpec) (mutator.Source, error) {
+	if f.cfg.Workloads != nil && i < len(f.cfg.Workloads) && f.cfg.Workloads[i] != nil {
+		return f.cfg.Workloads[i], nil
+	}
+	if spec.TracePath != "" {
+		return workload.Open(spec.TracePath)
+	}
+	if spec.Synth != nil {
+		return workload.NewSynthSource(*spec.Synth)
+	}
+	if spec.Program.Name == "" {
+		return nil, fmt.Errorf("sim: tenant has no workload (no program, synth, or trace)")
+	}
+	return spec.Program, nil
+}
+
+// RunFleet runs N heterogeneous tenants sharing one machine through a
+// single discrete-event queue: round-robin quanta on one simulated CPU,
+// cross-tenant eviction arbitration, per-tenant chaos, and the
+// graceful-degradation ladder. Everything observable is a function of
+// the FleetSpec alone — reports are byte-identical for any -jobs or
+// -mark-workers setting.
+func RunFleet(cfg FleetConfig) FleetResult {
+	spec := cfg.Spec
+	res := FleetResult{ErrTenant: -1}
+	if len(spec.Tenants) == 0 {
+		res.Err = fmt.Errorf("sim: fleet has no tenants")
+		return res
+	}
+	clock := vmm.NewClock()
+	costs := vmm.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	quantum := spec.Quantum
+	if quantum <= 0 {
+		quantum = 512
+	}
+	v := vmm.New(clock, spec.PhysBytes, costs)
+	if cfg.Trace != nil {
+		cfg.Trace.SetClock(clock)
+	}
+
+	policy := spec.Policy
+	if policy == "" {
+		policy = PolicyGlobalLRU
+	}
+	res.InitialPolicy = policy
+	res.Policy = policy
+
+	f := &fleetRun{
+		cfg:     cfg,
+		clock:   clock,
+		v:       v,
+		byProc:  make(map[*vmm.Proc]*tenant, len(spec.Tenants)),
+		quantum: quantum,
+	}
+	for _, t := range spec.Tenants {
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		f.totalWeight += w
+	}
+	// The arbiter is installed only when the spec engages arbitration
+	// (a policy, or a ladder that can escalate into one): a bare fleet —
+	// RunMulti's configuration — leaves the VMM exactly as it was.
+	if spec.Policy != "" || spec.EscalateTo != "" {
+		f.arbiter = &fleetArbiter{f: f, mode: policy}
+		v.SetArbiter(f.arbiter)
+	}
+	if cfg.FlightDir != "" {
+		per := cfg.MaxDumpsPerTenant
+		if per <= 0 {
+			per = 4
+		}
+		f.quota = telemetry.NewDumpQuota(per, 4+2*len(spec.Tenants), 4)
+	}
+
+	// Assemble tenants in spec order — the same creation sequence
+	// RunMulti used, so the port is byte-identical.
+	for i, ts := range spec.Tenants {
+		name := ts.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-%d", ts.Collector, i)
+		}
+		var tr trace.Tracer
+		if cfg.Trace != nil {
+			tr = cfg.Trace.Thread(name)
+		}
+		var tel *telemetry.Collector
+		if cfg.FlightDir != "" {
+			tel = telemetry.New(telemetry.Config{
+				FlightDir: cfg.FlightDir,
+				Tenant:    name,
+				Quota:     f.quota,
+			})
+			tr = tel.Tracer(tr)
+		}
+		src, err := f.resolveSource(i, ts)
+		if err != nil {
+			res.Err = err
+			res.ErrTenant = i
+			return res
+		}
+		env, col, run, err := newInstance(v, name, ts.Collector,
+			ts.HeapBytes, src, spec.Seed+ts.Seed+int64(i), tr, cfg.Counters, cfg.MarkWorkers)
+		if err != nil {
+			res.Err = err
+			res.ErrTenant = i
+			return res
+		}
+		t := &tenant{
+			id: i, spec: ts, name: name,
+			env: env, col: col, run: run, tel: tel,
+			admitAt: time.Duration(ts.AdmitAtNS),
+		}
+		if tel != nil {
+			tel.Attach(v, env, col, cfg.Counters)
+		}
+		if ts.Chaos != "" {
+			fc, ok := fault.ByName(ts.Chaos, fault.TenantSeed(spec.ChaosSeed, i))
+			if !ok {
+				res.Err = fmt.Errorf("sim: unknown chaos regime %q", ts.Chaos)
+				res.ErrTenant = i
+				return res
+			}
+			t.inj = fault.Interpose(env.Proc, fc, cfg.Counters)
+			t.inj.StartSpikes(v)
+		}
+		if cfg.AfterCollection != nil {
+			if hooked, ok := col.(interface{ OnCollectionEnd(func()) }); ok {
+				id, c := i, col
+				hooked.OnCollectionEnd(func() { cfg.AfterCollection(id, c, v) })
+			}
+		}
+		f.byProc[env.Proc] = t
+		f.tenants = append(f.tenants, t)
+		col.Stats().Timeline.Start = clock.Now()
+	}
+	res.Names = make([]string, len(f.tenants))
+	for i, t := range f.tenants {
+		res.Names[i] = t.name
+	}
+
+	// Arm the cascade detector on the simulated clock.
+	if spec.CascadeMajorFaults > 0 {
+		window := time.Duration(spec.CascadeWindowNS)
+		if window <= 0 {
+			window = 50 * time.Millisecond
+		}
+		sustain := spec.CascadeSustain
+		if sustain <= 0 {
+			sustain = 2
+		}
+		for _, t := range f.tenants {
+			t.lastMajor = t.env.Proc.Stats().MajorFaults
+		}
+		f.windowLast = v.Stats().MajorFaults
+		var tick func()
+		tick = func() {
+			cur := v.Stats().MajorFaults
+			delta := cur - f.windowLast
+			f.windowLast = cur
+			if delta >= spec.CascadeMajorFaults {
+				f.hotWindows++
+			} else {
+				f.hotWindows = 0
+			}
+			if f.hotWindows >= sustain {
+				f.hotWindows = 0
+				f.cascade(delta, window, sustain)
+			} else {
+				for _, t := range f.tenants {
+					t.lastMajor = t.env.Proc.Stats().MajorFaults
+				}
+			}
+			clock.Schedule(clock.Now()+window, tick)
+		}
+		clock.Schedule(clock.Now()+window, tick)
+	}
+
+	// step advances one tenant by a quantum, converting an out-of-memory
+	// panic into a per-tenant failure so co-tenants keep running —
+	// exactly what happens on a real machine when one process dies.
+	step := func(t *tenant) (alive bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				oom, ok := r.(gc.ErrOutOfMemory)
+				if !ok {
+					panic(r)
+				}
+				t.failed = oom
+				alive = false
+			}
+		}()
+		alive = t.run.Step(f.quantum)
+		if t.inj != nil {
+			t.inj.Safepoint()
+		}
+		return alive
+	}
+
+	retire := func(t *tenant) {
+		t.done = true
+		if err := t.run.Err(); err != nil && t.failed == nil {
+			t.failed = err
+		}
+		t.col.Stats().Timeline.End = clock.Now()
+		if t.tel != nil {
+			t.tel.RunEnded(t.failed)
+		}
+	}
+
+	// The scheduler: round-robin quanta over admitted tenants, RunMulti's
+	// loop extended with admission and backpressure. When every live
+	// tenant is waiting on admission, the clock skips idle time to the
+	// earliest admit point — a discrete-event jump, not a busy spin.
+	for {
+		live, stepped := 0, 0
+		var nextAdmit time.Duration = -1
+		for _, t := range f.tenants {
+			if t.done || t.failed != nil {
+				continue
+			}
+			live++
+			if clock.Now() < t.admitAt {
+				if nextAdmit < 0 || t.admitAt < nextAdmit {
+					nextAdmit = t.admitAt
+				}
+				continue
+			}
+			if t.penaltySkips > 0 {
+				t.penaltySkips--
+				continue
+			}
+			if step(t) {
+				stepped++
+			} else {
+				retire(t)
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if stepped == 0 && nextAdmit > clock.Now() {
+			clock.Advance(nextAdmit - clock.Now())
+		}
+	}
+
+	// Assemble per-tenant results exactly as RunMulti did: End stamped
+	// when the tenant retired, elapsed measured to the fleet's end.
+	res.Tenants = make([]Result, len(f.tenants))
+	evictions := make([]float64, len(f.tenants))
+	res.PauseP99NS = make([]int64, len(f.tenants))
+	for i, t := range f.tenants {
+		if t.col.Stats().Timeline.End == 0 {
+			t.col.Stats().Timeline.End = clock.Now()
+		}
+		r := Result{
+			Config: RunConfig{
+				Collector: t.spec.Collector, Program: t.spec.Program,
+				HeapBytes: t.spec.HeapBytes, PhysBytes: spec.PhysBytes,
+			},
+			Timeline:    t.col.Stats().Timeline,
+			Mutator:     t.run.Finish(),
+			GCStats:     *t.col.Stats(),
+			ProcStats:   t.env.Proc.Stats(),
+			ElapsedSecs: (clock.Now() - t.col.Stats().Timeline.Start).Seconds(),
+			Counters:    cfg.Counters,
+			Err:         t.failed,
+		}
+		if t.inj != nil {
+			s := t.inj.Stats()
+			r.Faults = &s
+		}
+		res.Tenants[i] = r
+		res.AggMinorFaults += r.ProcStats.MinorFaults
+		res.AggMajorFaults += r.ProcStats.MajorFaults
+		res.AggEvictions += r.ProcStats.Evictions
+		evictions[i] = float64(r.ProcStats.Evictions)
+		res.PauseP99NS[i] = int64(telemetry.FromTimeline(&r.Timeline).Quantile(0.99))
+	}
+	res.Fairness = telemetry.FairnessIndex(evictions)
+	res.ElapsedSecs = clock.Now().Seconds()
+	res.VMM = v.Stats()
+	res.ArbiterVetoes = v.Stats().ArbiterVetoes
+	if f.arbiter != nil {
+		res.Policy = f.arbiter.mode
+	}
+	res.Cascades = f.cascades
+	res.Escalated = f.escalated
+	res.FleetDumps = f.fleetDumps
+	return res
+}
+
+// cascade is the ladder's response to a sustained fleet-wide fault
+// storm: escalate the arbitration policy, backpressure the noisiest
+// tenant, push back unadmitted tenants, and write the fleet bundle
+// through the reserved dump slots. Runs on the simulated clock, so every
+// action is deterministic.
+func (f *fleetRun) cascade(windowFaults uint64, window time.Duration, sustain int) {
+	spec := f.cfg.Spec
+	f.cascades++
+
+	// Escalate the arbitration policy (once per run).
+	if spec.EscalateTo != "" && f.arbiter != nil && f.arbiter.mode != spec.EscalateTo {
+		f.arbiter.mode = spec.EscalateTo
+		f.escalated = true
+	}
+
+	// Backpressure: the tenant with the most major faults this window
+	// loses its next turns at the scheduler.
+	noisiest := -1
+	var worst uint64
+	for _, t := range f.tenants {
+		cur := t.env.Proc.Stats().MajorFaults
+		d := cur - t.lastMajor
+		t.lastMajor = cur
+		if noisiest < 0 || d > worst {
+			noisiest = t.id
+			worst = d
+		}
+	}
+	if spec.Backpressure && noisiest >= 0 {
+		f.tenants[noisiest].penaltySkips += 16
+	}
+
+	// Admission throttle: anyone not yet admitted waits out the storm.
+	if spec.AdmissionThrottle {
+		now := f.clock.Now()
+		for _, t := range f.tenants {
+			if !t.done && t.failed == nil && now < t.admitAt {
+				t.admitAt += 4 * window
+			}
+		}
+	}
+
+	if f.cfg.FlightDir == "" {
+		return
+	}
+	b := &telemetry.FleetBundle{
+		Reason:        "cascade-thrash",
+		SimTimeNS:     int64(f.clock.Now()),
+		WindowNS:      int64(window),
+		WindowFaults:  windowFaults,
+		Threshold:     spec.CascadeMajorFaults,
+		SustainedFor:  sustain,
+		Policy:        string(f.cfg.Spec.Policy),
+		Fairness:      f.fairnessNow(),
+		AggMajor:      f.v.Stats().MajorFaults,
+		AggEvictions:  f.v.Stats().Evictions,
+		ArbiterVetoes: f.v.Stats().ArbiterVetoes,
+	}
+	if f.escalated {
+		b.EscalatedTo = string(f.arbiter.mode)
+	}
+	for _, t := range f.tenants {
+		tl := t.col.Stats().Timeline
+		snap := telemetry.TenantFlightSnap{
+			Tenant:        t.name,
+			Collector:     t.col.Name(),
+			Cooperative:   t.env.Proc.Handler() != nil,
+			ResidentPages: t.env.Proc.ResidentPages(),
+			MajorFaults:   t.env.Proc.Stats().MajorFaults,
+			Evictions:     t.env.Proc.Stats().Evictions,
+			PauseP99NS:    int64(telemetry.FromTimeline(&tl).Quantile(0.99)),
+			Penalized:     t.id == noisiest && spec.Backpressure,
+		}
+		if t.failed != nil {
+			snap.Failed = t.failed.Error()
+		}
+		b.Tenants = append(b.Tenants, snap)
+	}
+	f.dumpSeq++
+	if path := telemetry.WriteFleetBundle(f.cfg.FlightDir, f.dumpSeq, b, f.quota); path != "" {
+		f.fleetDumps = append(f.fleetDumps, path)
+	}
+}
+
+// fairnessNow is the live eviction-pressure fairness index.
+func (f *fleetRun) fairnessNow() float64 {
+	xs := make([]float64, len(f.tenants))
+	for i, t := range f.tenants {
+		xs[i] = float64(t.env.Proc.Stats().Evictions)
+	}
+	return telemetry.FairnessIndex(xs)
+}

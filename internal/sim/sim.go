@@ -448,101 +448,45 @@ type MultiConfig struct {
 
 // RunMulti round-robins the JVMs on one simulated CPU until all complete,
 // returning one Result per JVM. Total elapsed time is shared; per-JVM
-// pause statistics are their own.
+// pause statistics are their own. It is a thin wrapper over the fleet
+// engine — n identical tenants, no arbitration, no chaos, no ladder —
+// and produces output byte-identical to the pre-fleet implementation.
 func RunMulti(cfg MultiConfig) []Result {
-	clock := vmm.NewClock()
-	costs := vmm.DefaultCosts()
-	if cfg.Costs != nil {
-		costs = *cfg.Costs
-	}
-	if cfg.Quantum <= 0 {
-		cfg.Quantum = 512
-	}
-	v := vmm.New(clock, cfg.PhysBytes, costs)
-
-	type jvm struct {
-		env    *gc.Env
-		col    gc.Collector
-		run    mutator.Workload
-		failed error
-	}
-	if cfg.Trace != nil {
-		cfg.Trace.SetClock(clock)
-	}
-	src := mutator.Source(cfg.Program)
+	tenants := make([]TenantSpec, cfg.JVMs)
+	var workloads []mutator.Source
 	if cfg.Workload != nil {
-		src = cfg.Workload
+		workloads = make([]mutator.Source, cfg.JVMs)
 	}
-	jvms := make([]*jvm, cfg.JVMs)
-	for i := range jvms {
-		name := fmt.Sprintf("%s-%d", cfg.Collector, i)
-		var tr trace.Tracer
-		if cfg.Trace != nil {
-			tr = cfg.Trace.Thread(name)
+	for i := range tenants {
+		tenants[i] = TenantSpec{
+			Name:      fmt.Sprintf("%s-%d", cfg.Collector, i),
+			Collector: cfg.Collector,
+			Program:   cfg.Program,
+			HeapBytes: cfg.HeapBytes,
+			// The fleet engine seeds tenant i with Spec.Seed+Seed+i;
+			// carrying cfg.Seed here reproduces RunMulti's Seed+i.
+			Seed: cfg.Seed,
 		}
-		env, col, run, err := newInstance(v, name, cfg.Collector,
-			cfg.HeapBytes, src, cfg.Seed+int64(i), tr, cfg.Counters, cfg.MarkWorkers)
-		if err != nil {
-			// Same kind for every JVM: the whole configuration is invalid.
-			return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,
-				HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes}, Err: err}}
-		}
-		jvms[i] = &jvm{env: env, col: col, run: run}
-		col.Stats().Timeline.Start = clock.Now()
-	}
-
-	// step advances one JVM by a quantum, converting an out-of-memory
-	// panic into a per-JVM failure so the co-tenants keep running —
-	// exactly what happens on a real machine when one process dies.
-	step := func(j *jvm) (alive bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				oom, ok := r.(gc.ErrOutOfMemory)
-				if !ok {
-					panic(r)
-				}
-				j.failed = oom
-				alive = false
-			}
-		}()
-		return j.run.Step(cfg.Quantum)
-	}
-
-	running := cfg.JVMs
-	for running > 0 {
-		running = 0
-		for _, j := range jvms {
-			if j.failed != nil || j.run.Done() {
-				continue
-			}
-			if step(j) {
-				running++
-			} else {
-				if err := j.run.Err(); err != nil && j.failed == nil {
-					j.failed = err
-				}
-				j.col.Stats().Timeline.End = clock.Now()
-			}
+		if workloads != nil {
+			workloads[i] = cfg.Workload
 		}
 	}
-	out := make([]Result, cfg.JVMs)
-	for i, j := range jvms {
-		if j.col.Stats().Timeline.End == 0 {
-			j.col.Stats().Timeline.End = clock.Now()
-		}
-		out[i] = Result{
-			Config: RunConfig{
-				Collector: cfg.Collector, Program: cfg.Program,
-				HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes,
-			},
-			Timeline:    j.col.Stats().Timeline,
-			Mutator:     j.run.Finish(),
-			GCStats:     *j.col.Stats(),
-			ProcStats:   j.env.Proc.Stats(),
-			ElapsedSecs: (clock.Now() - j.col.Stats().Timeline.Start).Seconds(),
-			Counters:    cfg.Counters,
-			Err:         j.failed,
-		}
+	fr := RunFleet(FleetConfig{
+		Spec: FleetSpec{
+			Tenants:   tenants,
+			PhysBytes: cfg.PhysBytes,
+			Quantum:   cfg.Quantum,
+		},
+		Costs:       cfg.Costs,
+		Trace:       cfg.Trace,
+		Counters:    cfg.Counters,
+		Workloads:   workloads,
+		MarkWorkers: cfg.MarkWorkers,
+	})
+	if fr.Err != nil {
+		// Same kind for every JVM: the whole configuration is invalid.
+		return []Result{{Config: RunConfig{Collector: cfg.Collector, Program: cfg.Program,
+			HeapBytes: cfg.HeapBytes, PhysBytes: cfg.PhysBytes}, Err: fr.Err}}
 	}
-	return out
+	return fr.Tenants
 }

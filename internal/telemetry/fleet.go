@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DumpQuota is a fleet-wide flight-dump budget shared by every tenant's
+// telemetry collector in one run. Two failure modes it prevents: tenants
+// writing into one FlightDir must not exhaust each other's allowance (a
+// noisy neighbor dumping sixteen OOM bundles would otherwise silence
+// everyone else), and fleet-level cascade bundles must never be crowded
+// out — FleetReserve slots of the total are reserved for them and are
+// unreachable from TryTenant.
+type DumpQuota struct {
+	mu sync.Mutex
+
+	perTenant    int // max dumps any single tenant may write
+	total        int // max dumps across the whole run, incl. the reserve
+	fleetReserve int // slots of total only TryFleet can use
+
+	tenant     map[string]int
+	tenantUsed int
+	fleetUsed  int
+}
+
+// NewDumpQuota builds a quota. Non-positive arguments default to
+// perTenant 4, total 32, reserve 4; the reserve is clamped below total.
+func NewDumpQuota(perTenant, total, fleetReserve int) *DumpQuota {
+	if perTenant <= 0 {
+		perTenant = 4
+	}
+	if total <= 0 {
+		total = 32
+	}
+	if fleetReserve <= 0 {
+		fleetReserve = 4
+	}
+	if fleetReserve >= total {
+		fleetReserve = total - 1
+	}
+	return &DumpQuota{
+		perTenant:    perTenant,
+		total:        total,
+		fleetReserve: fleetReserve,
+		tenant:       make(map[string]int),
+	}
+}
+
+// TryTenant charges one dump slot to tag, reporting whether the dump may
+// proceed. Tenants draw only from total-fleetReserve, so the fleet's
+// cascade slots survive any amount of per-tenant noise.
+func (q *DumpQuota) TryTenant(tag string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.tenant[tag] >= q.perTenant || q.tenantUsed >= q.total-q.fleetReserve ||
+		q.tenantUsed+q.fleetUsed >= q.total {
+		return false
+	}
+	q.tenant[tag]++
+	q.tenantUsed++
+	return true
+}
+
+// TryFleet charges one fleet-level dump slot (cascade bundles).
+func (q *DumpQuota) TryFleet() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.tenantUsed+q.fleetUsed >= q.total {
+		return false
+	}
+	q.fleetUsed++
+	return true
+}
+
+// Used returns (tenant dumps, fleet dumps) written so far.
+func (q *DumpQuota) Used() (tenant, fleet int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tenantUsed, q.fleetUsed
+}
+
+// FairnessIndex is Jain's fairness index over xs: (Σx)² / (n·Σx²).
+// 1.0 means perfectly even, 1/n means one tenant absorbs everything.
+// Empty or all-zero input counts as perfectly fair.
+func FairnessIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// TenantFlightSnap is one tenant's state at the moment a fleet-level
+// event (a cascade) fired, embedded in the FleetBundle.
+type TenantFlightSnap struct {
+	Tenant        string `json:"tenant"`
+	Collector     string `json:"collector"`
+	Cooperative   bool   `json:"cooperative"`
+	ResidentPages int    `json:"resident_pages"`
+	MajorFaults   uint64 `json:"major_faults"`
+	Evictions     uint64 `json:"evictions"`
+	PauseP99NS    int64  `json:"pause_p99_ns,omitempty"`
+	Penalized     bool   `json:"penalized,omitempty"`
+	Failed        string `json:"failed,omitempty"`
+}
+
+// FleetBundle is the fleet-wide flight dump written when the cascade
+// detector trips: which window tripped it, what the arbiter did about
+// it, and a per-tenant snapshot for postmortem attribution.
+type FleetBundle struct {
+	Schema        string             `json:"schema"`
+	Reason        string             `json:"reason"`
+	SimTimeNS     int64              `json:"sim_time_ns"`
+	WindowNS      int64              `json:"window_ns"`
+	WindowFaults  uint64             `json:"window_major_faults"`
+	Threshold     uint64             `json:"threshold_major_faults"`
+	SustainedFor  int                `json:"sustained_windows"`
+	Policy        string             `json:"policy"`
+	EscalatedTo   string             `json:"escalated_to,omitempty"`
+	Fairness      float64            `json:"eviction_fairness"`
+	AggMajor      uint64             `json:"agg_major_faults"`
+	AggEvictions  uint64             `json:"agg_evictions"`
+	ArbiterVetoes uint64             `json:"arbiter_vetoes"`
+	Tenants       []TenantFlightSnap `json:"tenants"`
+}
+
+// FleetBundleSchema is the schema tag every fleet bundle carries.
+const FleetBundleSchema = "gcsim-fleet-flight/v1"
+
+// WriteFleetBundle writes b into dir through the quota's reserved fleet
+// slots, returning the file path ("" when the quota or IO refused).
+// seq distinguishes multiple cascades in one run.
+func WriteFleetBundle(dir string, seq int, b *FleetBundle, q *DumpQuota) string {
+	if dir == "" {
+		return ""
+	}
+	if q != nil && !q.TryFleet() {
+		return ""
+	}
+	b.Schema = FleetBundleSchema
+	if b.Reason == "" {
+		b.Reason = "cascade-thrash"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fleet-%03d-%s.json", seq, b.Reason))
+	if os.WriteFile(path, data, 0o644) != nil {
+		return ""
+	}
+	return path
+}

@@ -95,6 +95,7 @@ func renderPause(a *PauseAttr) pauseJSON {
 type bundle struct {
 	Schema    string             `json:"schema"`
 	Reason    string             `json:"reason"`
+	Tenant    string             `json:"tenant,omitempty"`
 	SimTimeNS int64              `json:"sim_time_ns"`
 	Collector string             `json:"collector"`
 	RunError  string             `json:"run_error,omitempty"`
@@ -112,7 +113,16 @@ type bundle struct {
 // advance the simulated clock. No-op without a FlightDir or past the
 // dump cap.
 func (c *Collector) dumpLocked(reason string) {
-	if c.cfg.FlightDir == "" || int(c.flightDumps) >= c.cfg.MaxDumps {
+	if c.cfg.FlightDir == "" {
+		return
+	}
+	// Gate: a shared fleet quota when one is installed (charged up front;
+	// a failed host write forfeits the slot), else the local per-run cap.
+	if c.cfg.Quota != nil {
+		if !c.cfg.Quota.TryTenant(c.cfg.Tenant) {
+			return
+		}
+	} else if int(c.flightDumps) >= c.cfg.MaxDumps {
 		return
 	}
 	var now int64
@@ -122,6 +132,7 @@ func (c *Collector) dumpLocked(reason string) {
 	b := bundle{
 		Schema:    "gcsim-flight/v1",
 		Reason:    reason,
+		Tenant:    c.cfg.Tenant,
 		SimTimeNS: now,
 		Collector: c.collectorName,
 		Samples:   make(map[string][]int64, numColumns),
@@ -165,6 +176,9 @@ func (c *Collector) dumpLocked(reason string) {
 	}
 	c.dumpSeq++
 	name := fmt.Sprintf("flight-%03d-%s.json", c.dumpSeq, reason)
+	if c.cfg.Tenant != "" {
+		name = fmt.Sprintf("flight-%s-%03d-%s.json", c.cfg.Tenant, c.dumpSeq, reason)
+	}
 	if os.WriteFile(filepath.Join(c.cfg.FlightDir, name), data, 0o644) == nil {
 		c.flightDumps++
 		c.ctrs.Inc(trace.CTelemetryFlightDumps)

@@ -141,6 +141,14 @@ type Config struct {
 	SampleTail int
 	// MaxDumps bounds bundles written per run (default 16).
 	MaxDumps int
+	// Tenant, when non-empty, tags flight-dump filenames and bundle
+	// metadata with a tenant identity so concurrent per-tenant dumps in
+	// one fleet run cannot collide in one FlightDir.
+	Tenant string
+	// Quota, when set, replaces the local MaxDumps gate with a fleet-wide
+	// dump budget shared across tenants (see DumpQuota). A noisy tenant
+	// then exhausts only its own per-tenant allowance, not the fleet's.
+	Quota *DumpQuota
 }
 
 // span is one open trace span on the attribution stack. segStart and

@@ -1,0 +1,139 @@
+package vmm
+
+import (
+	"testing"
+
+	"bookmarkgc/internal/mem"
+)
+
+// procArbiter vetoes every eviction from the procs in protect.
+type procArbiter struct {
+	protect map[int32]bool
+	asked   int
+}
+
+func (a *procArbiter) Approve(owner *Proc, pg mem.PageID) bool {
+	a.asked++
+	return !a.protect[owner.id]
+}
+
+// touchPages walks n pages of p once, making them resident.
+func touchPages(p *Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Touch(mem.PageID(i), false)
+	}
+}
+
+// TestArbiterRedirectsPressure: two procs fill memory; an arbiter that
+// shields proc A must force all evictions onto proc B.
+func TestArbiterRedirectsPressure(t *testing.T) {
+	_, v := testVMM(t, 256)
+	a := v.NewProc("a", 512*mem.PageSize)
+	b := v.NewProc("b", 512*mem.PageSize)
+	arb := &procArbiter{protect: map[int32]bool{a.id: true}}
+	v.SetArbiter(arb)
+
+	// A's working set stays under the desperation cap (2×batch = 64), so
+	// the arbiter's shield holds absolutely; B soaks up all the pressure.
+	touchPages(a, 60)
+	touchPages(b, 180)
+	for round := 0; round < 6; round++ {
+		touchPages(a, 60)
+		touchPages(b, 180)
+	}
+	if arb.asked == 0 {
+		t.Fatal("arbiter never consulted")
+	}
+	if a.Stats().Evictions != 0 {
+		t.Fatalf("shielded proc evicted %d pages", a.Stats().Evictions)
+	}
+	if b.Stats().Evictions == 0 {
+		t.Fatal("unshielded proc never evicted despite pressure")
+	}
+	if v.Stats().ArbiterVetoes == 0 {
+		t.Fatal("vetoes not counted")
+	}
+	if err := v.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// denyAll vetoes everything — reclaim must still make progress via the
+// desperation cap rather than livelock.
+type denyAll struct{}
+
+func (denyAll) Approve(*Proc, mem.PageID) bool { return false }
+
+func TestArbiterDesperationFallback(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 1024*mem.PageSize)
+	v.SetArbiter(denyAll{})
+
+	// Touch far more pages than frames; without the 2×batch cap this
+	// would loop vetoing until the scan budget ran dry with nothing freed.
+	touchPages(p, 600)
+	if v.Stats().Evictions == 0 {
+		t.Fatal("no evictions despite deny-all arbiter: desperation fallback broken")
+	}
+	if v.Stats().ArbiterVetoes == 0 {
+		t.Fatal("deny-all arbiter recorded no vetoes")
+	}
+	if v.FreeFrames() < 0 {
+		t.Fatalf("free frames went negative: %d", v.FreeFrames())
+	}
+	if err := v.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArbiterSkipsSurrendered: relinquished pages must be evicted without
+// consulting the arbiter — the owner already gave them up.
+func TestArbiterSkipsSurrendered(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 256*mem.PageSize)
+	touchPages(p, 60)
+
+	arb := &procArbiter{protect: map[int32]bool{p.id: true}}
+	v.SetArbiter(arb)
+
+	var pgs []mem.PageID
+	for i := 0; i < 40; i++ {
+		pgs = append(pgs, mem.PageID(i))
+	}
+	p.Relinquish(pgs)
+	// Force pressure so reclaim drains the inactive list.
+	touchPages(p, 120)
+	evicted := 0
+	for _, pg := range pgs {
+		if p.State(pg) == Evicted {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("no surrendered page was evicted under a protective arbiter")
+	}
+	if err := v.CheckAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckAccountingDetectsDrift: deliberately corrupt a counter and
+// make sure the checker notices.
+func TestCheckAccountingDetectsDrift(t *testing.T) {
+	_, v := testVMM(t, 128)
+	p := v.NewProc("a", 64*mem.PageSize)
+	touchPages(p, 10)
+	if err := v.CheckAccounting(); err != nil {
+		t.Fatalf("clean machine failed accounting: %v", err)
+	}
+	p.resident++
+	if err := v.CheckAccounting(); err == nil {
+		t.Fatal("per-proc drift not detected")
+	}
+	p.resident--
+	v.used++
+	if err := v.CheckAccounting(); err == nil {
+		t.Fatal("machine-wide drift not detected")
+	}
+	v.used--
+}

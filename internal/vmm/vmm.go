@@ -102,12 +102,29 @@ type pageRef struct {
 
 // Stats are global VMM counters.
 type Stats struct {
-	MinorFaults  uint64
-	MajorFaults  uint64
-	Evictions    uint64
-	Discards     uint64
-	Notification uint64
-	Reclaims     uint64
+	MinorFaults   uint64
+	MajorFaults   uint64
+	Evictions     uint64
+	Discards      uint64
+	Notification  uint64
+	Reclaims      uint64
+	ArbiterVetoes uint64
+}
+
+// Arbiter lets a fleet-level policy approve or veto each eviction victim
+// the replacement algorithm proposes, across process owners. Approve is
+// consulted after the clock algorithm has already decided the page is
+// cold (and before the owner is notified); returning false recycles the
+// page to the active list and the scan moves on. Voluntarily surrendered
+// pages bypass arbitration — their owner has already given them up.
+//
+// Arbitration is advisory, not absolute: when a single reclaim pass
+// accumulates more than two batches of vetoes, the VMM stops consulting
+// the arbiter for the rest of the pass. A policy that vetoes everything
+// would otherwise livelock reclaim exactly the way an over-aggressive
+// EvictionScheduled veto loop would.
+type Arbiter interface {
+	Approve(owner *Proc, pg mem.PageID) bool
 }
 
 // VMM is the simulated virtual memory manager. One VMM instance models
@@ -127,6 +144,7 @@ type VMM struct {
 	active    []pageRef
 	inactive  []pageRef
 	reclaimIn bool
+	arbiter   Arbiter
 
 	// reclaimStuck is set when a reclaim pass cannot reach its target
 	// (every page referenced, vetoed, or locked). Until something is
@@ -181,6 +199,45 @@ func (v *VMM) PinnedFrames() int { return v.pinned }
 // Stats returns global counters.
 func (v *VMM) Stats() Stats { return v.stats }
 
+// SetArbiter installs (or, with nil, removes) the eviction arbiter.
+func (v *VMM) SetArbiter(a Arbiter) { v.arbiter = a }
+
+// Procs returns the machine's processes in creation order.
+func (v *VMM) Procs() []*Proc {
+	out := make([]*Proc, len(v.procs))
+	copy(out, v.procs)
+	return out
+}
+
+// CheckAccounting recounts every page table and verifies the O(1)
+// residency counters — per-proc Proc.resident and the machine-wide used
+// total — against ground truth, plus the pinned-frame bounds. Fleet soak
+// tests call it after every collection to prove the bookkeeping stays
+// exact when the arbiter takes pages from a different owner than the
+// faulting tenant.
+func (v *VMM) CheckAccounting() error {
+	total := 0
+	for _, p := range v.procs {
+		n := 0
+		for i := range p.pages {
+			if p.pages[i].state == Resident {
+				n++
+			}
+		}
+		if n != p.resident {
+			return fmt.Errorf("vmm: proc %d (%s) resident counter %d, table says %d", p.id, p.name, p.resident, n)
+		}
+		total += n
+	}
+	if total != v.used {
+		return fmt.Errorf("vmm: used counter %d, page tables say %d", v.used, total)
+	}
+	if v.pinned < 0 || v.pinned > v.frames {
+		return fmt.Errorf("vmm: pinned %d out of range [0,%d]", v.pinned, v.frames)
+	}
+	return nil
+}
+
 // Pin removes n frames from circulation, as signalmem's mmap+touch+mlock
 // does (§5.1). Pinning under pressure triggers reclaim immediately.
 func (v *VMM) Pin(n int) {
@@ -218,7 +275,16 @@ func (v *VMM) NewProc(name string, spaceBytes uint64) *Proc {
 }
 
 // makeResident allocates a frame for (p, pg), reclaiming if needed.
+// Idempotent on an already-resident page: the fault-latency Advance in
+// Touch fires due clock events, and one of them (a delayed notification
+// handler, a pressure spike) may touch the same page and service the
+// fault first — the original faulter then finds the page present, as a
+// second faulter does under the kernel's page lock.
 func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
+	if p.pages[pg].state == Resident {
+		p.pages[pg].referenced = true
+		return
+	}
 	v.used++
 	p.resident++
 	pi := &p.pages[pg]
@@ -301,6 +367,7 @@ func (v *VMM) reclaim() {
 	// Bound total scanning so a fully-referenced memory still terminates:
 	// two full passes clear every reference bit and then evict.
 	budget := 2*(len(v.active)+len(v.inactive)) + 4*v.batch
+	vetoes := 0
 	for v.FreeFrames() < target && budget > 0 {
 		budget--
 		if len(v.inactive) < v.batch {
@@ -328,6 +395,17 @@ func (v *VMM) reclaim() {
 			pi.referenced = false
 			v.pushActive(p, r.page)
 			continue
+		}
+		// Cross-owner arbitration: a fleet policy may redirect pressure
+		// away from this owner. Desperation cap: past 2×batch vetoes the
+		// pass stops asking, so reclaim cannot be starved by policy.
+		if v.arbiter != nil && !pi.surrendered && vetoes < 2*v.batch {
+			if !v.arbiter.Approve(p, r.page) {
+				vetoes++
+				v.stats.ArbiterVetoes++
+				v.pushActive(p, r.page)
+				continue
+			}
 		}
 		// Schedule the page for eviction: notify the owner first, unless
 		// the page was voluntarily surrendered (already processed).

@@ -11,19 +11,21 @@ import (
 	"bookmarkgc/internal/objmodel"
 )
 
-// SynthParams parameterizes a synthesized trace.
+// SynthParams parameterizes a synthesized trace. It is a pure value
+// with stable JSON field names: fleet tenant specs embed it, and runner
+// jobs hash the encoding.
 type SynthParams struct {
 	// Model is one of Models: "markov", "ramp", or "frag".
-	Model string
+	Model string `json:"model"`
 	// Allocs is the number of allocation iterations to emit.
-	Allocs int
+	Allocs int `json:"allocs,omitempty"`
 	// Live is the live-set target in objects; each model interprets it
 	// as its steady-state (markov), peak (ramp), or pin stride base
 	// (frag) scale.
-	Live int
-	Seed int64
+	Live int   `json:"live,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
 	// Name labels the trace; empty defaults to the model name.
-	Name string
+	Name string `json:"name,omitempty"`
 }
 
 // Synthesize writes a complete trace for params to w. The emitted
