@@ -18,16 +18,17 @@ func physBytes(mb, scale float64) uint64 {
 
 // fleetOpts carries the flags the fleet path reuses from the main set.
 type fleetOpts struct {
-	policy    string // -fleet-policy: arbitration override ("" = spec's)
-	scale     float64
-	seed      int64
-	chaosSeed int64
-	physMB    float64
-	physSet   bool // -phys explicitly given (overrides the spec)
-	seedSet   bool
-	chaosSet  bool
-	flightDir string
-	markWkrs  int
+	policy     string // -fleet-policy: arbitration override ("" = spec's)
+	heapPolicy string // -heap-policy: heap-limit override ("" = spec's)
+	scale      float64
+	seed       int64
+	chaosSeed  int64
+	physMB     float64
+	physSet    bool // -phys explicitly given (overrides the spec)
+	seedSet    bool
+	chaosSet   bool
+	flightDir  string
+	markWkrs   int
 }
 
 // loadFleet resolves the -fleet argument: "mixedN" builds the stock
@@ -81,6 +82,9 @@ func runFleetCLI(arg string, o fleetOpts) {
 	}
 	if o.policy != "" {
 		spec.Policy = sim.ArbitrationPolicy(o.policy)
+	}
+	if o.heapPolicy != "" {
+		spec.HeapPolicy = o.heapPolicy
 	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "gcsim: -fleet: %v\n", err)

@@ -28,6 +28,12 @@
 //	(drop, delay, duplicate, reorder, no-notify, reload-storm,
 //	thrash); -chaos-seed drives the injector's PRNG
 //
+// -heap-policy p  heap-limit policy for the collector's budget (fixed,
+//
+//	bc-shrink, membalancer, composed); "" keeps each collector's
+//	native behaviour. With -fleet it overrides the spec's policy
+//	for every tenant.
+//
 // -fleet s   runs a multi-tenant fleet sharing one machine: s is a
 //
 //	tenant-spec JSON file, or mixedN for the stock N-tenant mixed
@@ -76,6 +82,7 @@ import (
 
 	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
@@ -104,6 +111,7 @@ func main() {
 		bmu       = flag.Bool("bmu", false, "print the BMU curve")
 		chaos     = flag.String("chaos", "", "inject kernel faults: drop, delay, duplicate, reorder, no-notify, reload-storm, thrash")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault injector's PRNG")
+		heapPol   = flag.String("heap-policy", "", "heap-limit policy: fixed, bc-shrink, membalancer, composed ('' = collector default; with -fleet, overrides the spec)")
 		fleetArg  = flag.String("fleet", "", "run a multi-tenant fleet: a tenant-spec JSON file, or mixedN for the stock N-tenant mixed fleet")
 		fleetPol  = flag.String("fleet-policy", "", "fleet eviction-arbitration policy: global-lru, proportional, cooperative (overrides the spec)")
 		traceOut  = flag.String("trace", "", "write a GC event trace to this file")
@@ -181,6 +189,9 @@ func main() {
 	if *traceFmt != "chrome" && *traceFmt != "jsonl" {
 		fail("-trace-format %q must be chrome or jsonl", *traceFmt)
 	}
+	if *heapPol != "" && !heappolicy.Known(*heapPol) {
+		fail("unknown -heap-policy %q (policies: %s)", *heapPol, strings.Join(heappolicy.Names(), ", "))
+	}
 	var chaosCfg *fault.Config
 	if *chaos != "" {
 		cfg, ok := fault.ByName(*chaos, *chaosSeed)
@@ -215,16 +226,17 @@ func main() {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		runFleetCLI(*fleetArg, fleetOpts{
-			policy:    *fleetPol,
-			scale:     *scale,
-			seed:      *seed,
-			chaosSeed: *chaosSeed,
-			physMB:    *physMB,
-			physSet:   set["phys"],
-			seedSet:   set["seed"],
-			chaosSet:  set["chaos-seed"],
-			flightDir: *flightDir,
-			markWkrs:  *markWkrs,
+			policy:     *fleetPol,
+			heapPolicy: *heapPol,
+			scale:      *scale,
+			seed:       *seed,
+			chaosSeed:  *chaosSeed,
+			physMB:     *physMB,
+			physSet:    set["phys"],
+			seedSet:    set["seed"],
+			chaosSet:   set["chaos-seed"],
+			flightDir:  *flightDir,
+			markWkrs:   *markWkrs,
 		})
 		return
 	}
@@ -247,7 +259,7 @@ func main() {
 			prog:      prog, heap: heap, phys: phys,
 			stealFrac: *stealFrac, availMB: *availMB, scale: *scale,
 			seed: *seed, runs: *runs, jobs: *jobs, jvms: *jvms,
-			chaos: chaosCfg,
+			chaos: chaosCfg, heapPolicy: *heapPol,
 		})
 		return
 	}
@@ -323,6 +335,7 @@ func main() {
 			Program:   prog, HeapBytes: heap, PhysBytes: phys,
 			JVMs: *jvms, Seed: *seed, MarkWorkers: *markWkrs,
 			Trace: rec, Counters: reg,
+			HeapPolicy: *heapPol,
 		})
 		for i, r := range results {
 			if r.Err != nil {
@@ -341,7 +354,8 @@ func main() {
 		Pressure: pressure, Seed: *seed, Chaos: chaosCfg,
 		MarkWorkers: *markWkrs,
 		Trace:       rec, Counters: reg,
-		Telemetry: tel,
+		Telemetry:  tel,
+		HeapPolicy: *heapPol,
 	})
 	if tel != nil && r.Err != nil {
 		// Report the telemetry captured up to the failure (the flight
@@ -485,6 +499,11 @@ func listInventory() {
 	for _, c := range trace.TelemetryCounters() {
 		fmt.Printf("  %s\n", c)
 	}
+	fmt.Println("heap-policy counters (-counters; subsystem in DESIGN.md §14):")
+	for _, c := range trace.HeapPolicyCounters() {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Printf("heap-limit policies (-heap-policy): %s\n", strings.Join(heappolicy.Names(), ", "))
 	fmt.Printf("chaos regimes (-chaos): %s\n", strings.Join(fault.Regimes(), ", "))
 	fmt.Printf("trace synthesizer models (gctrace gen -model): %s\n",
 		strings.Join(workload.Models, ", "))
@@ -571,6 +590,7 @@ type sweepConfig struct {
 	jobs       int
 	jvms       int
 	chaos      *fault.Config
+	heapPolicy string
 }
 
 // seedSweep runs the configured simulation at runs consecutive seeds on
@@ -595,7 +615,7 @@ func seedSweep(c sweepConfig) {
 		j := runner.Job{
 			Collector: c.collector, Program: c.prog,
 			HeapBytes: c.heap, PhysBytes: c.phys, Seed: seed,
-			Chaos: c.chaos,
+			Chaos: c.chaos, HeapPolicy: c.heapPolicy,
 		}
 		if c.jvms > 1 {
 			j.JVMs = c.jvms

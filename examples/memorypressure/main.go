@@ -7,9 +7,12 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"bookmarkgc"
+	"bookmarkgc/internal/heappolicy"
+	"bookmarkgc/internal/telemetry"
 )
 
 func main() {
@@ -58,4 +61,60 @@ func main() {
 	fmt.Println("The bookmarking collector keeps collecting in memory (near-zero")
 	fmt.Println("major faults during GC pauses); GenMS's full-heap collections")
 	fmt.Println("touch evicted pages and its pauses stretch by orders of magnitude.")
+
+	// The same squeeze through the pluggable heap-limit policies
+	// (DESIGN.md §14): each policy decides how much of the configured
+	// heap GenMS may actually use, and the sampled trajectory shows the
+	// control loop reacting — or, for fixed, refusing to.
+	fmt.Println()
+	fmt.Printf("heap-limit trajectory per policy (GenMS, %d-page configured heap):\n",
+		(heap+(4<<10)-1)/(4<<10))
+	for _, pol := range heappolicy.Names() {
+		tel := telemetry.New(telemetry.Config{SampleEvery: 2 * time.Millisecond})
+		res := bookmarkgc.Run(bookmarkgc.RunConfig{
+			Collector: bookmarkgc.GenMS,
+			Program:   prog,
+			HeapBytes: heap,
+			PhysBytes: phys,
+			Pressure: &bookmarkgc.Pressure{
+				InitialBytes:     uint64(30 * scale * (1 << 20)),
+				GrowBytes:        uint64(1 * scale * (1 << 20)),
+				GrowEvery:        200 * time.Microsecond,
+				TargetAvailBytes: avail,
+			},
+			Seed:       1,
+			HeapPolicy: pol,
+			Telemetry:  tel,
+		})
+		limits := tel.ColumnTail(telemetry.ColHeapLimitPages, tel.SampleCount())
+		fmt.Printf("%-12s %s  exec=%.3fs gcs=%d\n",
+			pol, trajectory(limits, 10), res.ElapsedSecs, res.Timeline.Count())
+	}
+	fmt.Println()
+	fmt.Println("fixed holds the configured budget no matter what; bc-shrink and")
+	fmt.Println("composed give pages back when the kernel evicts; membalancer sizes")
+	fmt.Println("the heap from allocation rate vs GC speed (the square-root rule).")
+}
+
+// trajectory renders n evenly spaced samples of the limit series as a
+// compact "a -> b -> c pg" string.
+func trajectory(limits []int64, n int) string {
+	if len(limits) == 0 {
+		return "(no samples)"
+	}
+	if n > len(limits) {
+		n = len(limits)
+	}
+	pts := make([]string, n)
+	for i := range pts {
+		pts[i] = fmt.Sprint(limits[i*(len(limits)-1)/max(n-1, 1)])
+	}
+	return strings.Join(pts, ">") + " pg"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -115,6 +115,7 @@ func Experiments() []Experiment {
 		{"ablate", "ablations of BC design choices (§7, DESIGN.md)", Ablations},
 		{"replay", "one recorded trace replayed across collectors", Replay},
 		{"fleet", "16-tenant shared machine: arbitration policy vs fleet survival", Fleet},
+		{"heappolicy", "heap-limit policy Pareto: total memory vs total GC time", HeapPolicy},
 	}
 }
 

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bookmarkgc/internal/runner"
+)
+
+// TestFig4GoldenBCShrink pins Figure 4's rendered output at scale 0.02
+// against bytes captured BEFORE the heap-limit policy extraction: BC
+// running under the extracted bc-shrink policy must reproduce the
+// collector's original hard-coded shrink/regrow behaviour
+// byte-for-byte. Fig4 is the dynamic-pressure figure, so every BC row
+// exercises the shrink path (and BC-Regrow the regrow path).
+// Regenerate only with an intentional simulator change:
+//
+//	go test ./internal/bench -run TestFig4GoldenBCShrink -update
+func TestFig4GoldenBCShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 at scale 0.02 takes ~15s of simulation")
+	}
+	e, ok := ByID("fig4")
+	if !ok {
+		t.Fatal("fig4 not registered")
+	}
+	rn := runner.New(runner.Options{})
+	var buf bytes.Buffer
+	for _, r := range e.Run(Options{Scale: 0.02, Seed: 1}, rn) {
+		r.Print(&buf)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "fig4_scale002.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fig4 output drifted from pre-extraction golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

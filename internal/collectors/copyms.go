@@ -5,6 +5,7 @@ import (
 
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -42,8 +43,22 @@ func (c *CopyMS) Name() string { return "CopyMS" }
 // UsedPages implements gc.Collector.
 func (c *CopyMS) UsedPages() int { return c.MatureUsedPages() + c.eden.UsedPages() }
 
+// heapBudget is the policy-effective page budget; with no policy it is
+// exactly the configured heap.
+func (c *CopyMS) heapBudget() int {
+	return c.E.HeapBudget(c.MatureUsedPages() + gc.MinNurseryPages)
+}
+
+// policyTick gives the heap policy its mutator observation; a raised
+// target takes effect immediately via an eden resize.
+func (c *CopyMS) policyTick() {
+	if from, to := gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1); to > from {
+		c.resizeEden()
+	}
+}
+
 func (c *CopyMS) resizeEden() {
-	free := c.E.HeapPages - c.MatureUsedPages()
+	free := c.heapBudget() - c.MatureUsedPages()
 	if free < gc.MinNurseryPages {
 		free = gc.MinNurseryPages
 	}
@@ -59,10 +74,11 @@ func (c *CopyMS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 		if small {
 			o = c.eden.Alloc(t, arrayLen)
 		} else {
-			o = c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, c.eden.UsedPages())
+			o = c.AllocMature(c.E, t, arrayLen, c.heapBudget(), c.eden.UsedPages())
 		}
 		if o != mem.Nil {
 			c.CountAlloc(t, arrayLen)
+			c.policyTick()
 			return o
 		}
 		if attempt == 2 {
@@ -81,6 +97,13 @@ func (c *CopyMS) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRefRaw
 // Collect implements gc.Collector: a whole-heap collection that copies
 // eden survivors into the mature space and mark-sweeps the rest.
 func (c *CopyMS) Collect(bool) {
+	c.collect()
+	// Outside the pause so the policy sees the collection's own cost.
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
+	c.resizeEden()
+}
+
+func (c *CopyMS) collect() {
 	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
 	defer done()
 	gc.PauseClock(c.E, gc.PauseOverhead)
@@ -140,5 +163,4 @@ func (c *CopyMS) Collect(bool) {
 	if c.MatureUsedPages() > c.E.HeapPages {
 		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
 	}
-	c.resizeEden()
 }

@@ -3,6 +3,7 @@ package collectors
 import (
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -68,11 +69,27 @@ func (c *GenCopy) UsedPages() int {
 	return c.matFrom.UsedPages() + c.los.UsedPages() + c.nursery.UsedPages()
 }
 
+// heapBudget is the policy-effective page budget; with no policy it is
+// exactly the configured heap. The floor covers the mature space twice
+// (space plus copy reserve), the LOS, and a minimal nursery with its
+// own reserve.
+func (c *GenCopy) heapBudget() int {
+	return c.E.HeapBudget(2*c.matFrom.UsedPages() + c.los.UsedPages() + 2*gc.MinNurseryPages)
+}
+
+// policyTick gives the heap policy its mutator observation; a raised
+// target takes effect immediately via a nursery resize.
+func (c *GenCopy) policyTick() {
+	if from, to := gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1); to > from {
+		c.resizeNursery()
+	}
+}
+
 // resizeNursery applies the Appel policy with a copy reserve: mature
 // usage is charged twice (space plus reserve), and the nursery gets half
 // of what remains (its own copy reserve).
 func (c *GenCopy) resizeNursery() {
-	free := (c.E.HeapPages - 2*c.matFrom.UsedPages() - c.los.UsedPages()) / 2
+	free := (c.heapBudget() - 2*c.matFrom.UsedPages() - c.los.UsedPages()) / 2
 	if c.FixedNurseryPages > 0 && free > c.FixedNurseryPages {
 		free = c.FixedNurseryPages
 	}
@@ -92,12 +109,13 @@ func (c *GenCopy) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 			o = c.nursery.Alloc(t, arrayLen)
 		} else {
 			pages := int(mem.RoundUpPage(uint64(total)) / mem.PageSize)
-			if c.UsedPages()+pages <= c.E.HeapPages {
+			if c.UsedPages()+pages <= c.heapBudget() {
 				o = c.los.Alloc(t, arrayLen)
 			}
 		}
 		if o != mem.Nil {
 			c.CountAlloc(t, arrayLen)
+			c.policyTick()
 			return o
 		}
 		switch attempt {
@@ -128,13 +146,14 @@ func (c *GenCopy) Collect(full bool) {
 		c.fullGC()
 	} else {
 		c.nurseryGC()
-		if (c.E.HeapPages-2*c.matFrom.UsedPages()-c.los.UsedPages())/2 <= gc.MinNurseryPages {
+		if (c.heapBudget()-2*c.matFrom.UsedPages()-c.los.UsedPages())/2 <= gc.MinNurseryPages {
 			c.fullGC()
 		}
 	}
 	if c.matFrom.UsedPages()+c.los.UsedPages() > c.E.HeapPages {
 		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
 	}
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
 	c.resizeNursery()
 }
 

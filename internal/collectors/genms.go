@@ -5,6 +5,7 @@ import (
 
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -54,10 +55,25 @@ func (c *GenMS) Name() string {
 // UsedPages implements gc.Collector.
 func (c *GenMS) UsedPages() int { return c.MatureUsedPages() + c.nursery.UsedPages() }
 
+// heapBudget is the policy-effective page budget; with no policy it is
+// exactly the configured heap. The floor keeps a squeezed budget
+// workable: live mature data plus a minimal nursery.
+func (c *GenMS) heapBudget() int {
+	return c.E.HeapBudget(c.MatureUsedPages() + gc.MinNurseryPages)
+}
+
+// policyTick gives the heap policy its mutator observation; a raised
+// target takes effect immediately via a nursery resize.
+func (c *GenMS) policyTick() {
+	if from, to := gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1); to > from {
+		c.resizeNursery()
+	}
+}
+
 // resizeNursery applies the Appel policy: the nursery gets all the space
 // the mature heap is not using.
 func (c *GenMS) resizeNursery() {
-	free := c.E.HeapPages - c.MatureUsedPages()
+	free := c.heapBudget() - c.MatureUsedPages()
 	if c.FixedNurseryPages > 0 && free > c.FixedNurseryPages {
 		free = c.FixedNurseryPages
 	}
@@ -76,10 +92,11 @@ func (c *GenMS) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 		if small {
 			o = c.nursery.Alloc(t, arrayLen)
 		} else {
-			o = c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, c.nursery.UsedPages())
+			o = c.AllocMature(c.E, t, arrayLen, c.heapBudget(), c.nursery.UsedPages())
 		}
 		if o != mem.Nil {
 			c.CountAlloc(t, arrayLen)
+			c.policyTick()
 			return o
 		}
 		switch attempt {
@@ -113,13 +130,14 @@ func (c *GenMS) Collect(full bool) {
 		c.nurseryGC()
 		// Appel trigger: a nursery too small to be useful means the
 		// mature space owns the heap — do the full collection now.
-		if c.E.HeapPages-c.MatureUsedPages() <= gc.MinNurseryPages {
+		if c.heapBudget()-c.MatureUsedPages() <= gc.MinNurseryPages {
 			c.fullGC()
 		}
 	}
 	if c.MatureUsedPages() > c.E.HeapPages {
 		panic(gc.ErrOutOfMemory{Collector: c.Name(), HeapPages: c.E.HeapPages})
 	}
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
 	c.resizeNursery()
 }
 

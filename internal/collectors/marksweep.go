@@ -2,6 +2,7 @@ package collectors
 
 import (
 	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -33,11 +34,19 @@ func (c *MarkSweep) Name() string { return "MarkSweep" }
 // UsedPages implements gc.Collector.
 func (c *MarkSweep) UsedPages() int { return c.MatureUsedPages() }
 
+// heapBudget is the policy-effective page budget; with no policy it is
+// exactly the configured heap. The floor leaves a minimal allocation
+// headroom above live data so a squeezed budget cannot wedge Alloc.
+func (c *MarkSweep) heapBudget() int {
+	return c.E.HeapBudget(c.MatureUsedPages() + gc.MinNurseryPages)
+}
+
 // Alloc implements gc.Collector.
 func (c *MarkSweep) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 	for attempt := 0; ; attempt++ {
-		if o := c.AllocMature(c.E, t, arrayLen, c.E.HeapPages, 0); o != mem.Nil {
+		if o := c.AllocMature(c.E, t, arrayLen, c.heapBudget(), 0); o != mem.Nil {
 			c.CountAlloc(t, arrayLen)
+			gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1)
 			return o
 		}
 		if attempt == 2 {
@@ -55,6 +64,12 @@ func (c *MarkSweep) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRef
 
 // Collect implements gc.Collector: a full mark-sweep collection.
 func (c *MarkSweep) Collect(bool) {
+	c.collect()
+	// Outside the pause so the policy sees the collection's own cost.
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
+}
+
+func (c *MarkSweep) collect() {
 	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
 	defer done()
 	gc.PauseClock(c.E, gc.PauseOverhead)

@@ -3,6 +3,7 @@ package collectors
 import (
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -50,6 +51,13 @@ func (c *SemiSpace) Name() string { return "SemiSpace" }
 // UsedPages implements gc.Collector.
 func (c *SemiSpace) UsedPages() int { return c.to.UsedPages() + c.los.UsedPages() }
 
+// heapBudget is the policy-effective page budget; with no policy it is
+// exactly the configured heap. The floor charges live data twice (the
+// copy reserve) plus a minimal allocation headroom.
+func (c *SemiSpace) heapBudget() int {
+	return c.E.HeapBudget(2*(c.to.UsedPages()+c.los.UsedPages()) + 2*gc.MinNurseryPages)
+}
+
 // Alloc implements gc.Collector. Allocation goes to to-space; objects too
 // large for a size class would also be too large here only if they exceed
 // the semispace, so anything above the LOS threshold goes to the LOS.
@@ -57,18 +65,20 @@ func (c *SemiSpace) Alloc(t *objmodel.Type, arrayLen int) objmodel.Ref {
 	total := t.TotalBytes(arrayLen)
 	for attempt := 0; ; attempt++ {
 		var o objmodel.Ref
+		budget := c.heapBudget()
 		if _, small := c.E.Classes.ForSize(total); !small {
 			pages := int(mem.RoundUpPage(uint64(total)) / mem.PageSize)
-			if c.los.UsedPages()+pages <= c.E.HeapPages/4 { // LOS shares the non-reserve half
+			if c.los.UsedPages()+pages <= budget/4 { // LOS shares the non-reserve half
 				o = c.los.Alloc(t, arrayLen)
 			}
 		} else {
 			// Keep the semispace within budget net of LOS usage.
-			c.to.SetBudget(uint64(c.E.HeapPages/2-c.los.UsedPages()) * mem.PageSize)
+			c.to.SetBudget(uint64(budget/2-c.los.UsedPages()) * mem.PageSize)
 			o = c.to.Alloc(t, arrayLen)
 		}
 		if o != mem.Nil {
 			c.CountAlloc(t, arrayLen)
+			gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1)
 			return o
 		}
 		if attempt == 2 {
@@ -86,6 +96,12 @@ func (c *SemiSpace) WriteRef(o objmodel.Ref, i int, v objmodel.Ref) { c.WriteRef
 
 // Collect implements gc.Collector: flip and copy.
 func (c *SemiSpace) Collect(bool) {
+	c.collect()
+	// Outside the pause so the policy sees the collection's own cost.
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
+}
+
+func (c *SemiSpace) collect() {
 	done := c.Stats().BeginPause(c.E, metrics.PauseFull)
 	defer done()
 	gc.PauseClock(c.E, gc.PauseOverhead)
@@ -93,7 +109,7 @@ func (c *SemiSpace) Collect(bool) {
 
 	c.from, c.to = c.to, c.from
 	c.to.Reset()
-	c.to.SetBudget(uint64(c.E.HeapPages/2-c.los.UsedPages()) * mem.PageSize)
+	c.to.SetBudget(uint64(c.heapBudget()/2-c.los.UsedPages()) * mem.PageSize)
 	epoch := c.NextEpoch()
 
 	var work gc.WorkList

@@ -27,10 +27,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"bookmarkgc/internal/gc"
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -106,11 +106,8 @@ type BC struct {
 
 	losIncoming map[objmodel.Ref]int // incoming bookmark counts, LOS objects
 
-	// footprintTarget is the page budget pressure has squeezed us to
-	// (§3.3.3); effective budget = min(HeapPages, footprintTarget).
-	footprintTarget int
-	discardCredit   int // aggressive-discard slack (§3.4.3)
-	discardCursor   int // rotating scan position for discardable pages
+	discardCredit int // aggressive-discard slack (§3.4.3)
+	discardCursor int // rotating scan position for discardable pages
 
 	inGC          bool
 	pendingGC     bool   // eviction handler requested a collection (§3.3.2)
@@ -124,7 +121,6 @@ type BC struct {
 	// futile full collections.
 	gcRequestAfter uint64
 
-	lastNotify    time.Duration
 	evictedHeapPg int // count of evicted heap pages
 
 	// silentEvictions counts pages the residency audit found evicted
@@ -180,7 +176,6 @@ func New(env *gc.Env, cfg Config) *BC {
 		pageTargets:     make(map[mem.PageID]*pageRecord),
 		deferredTargets: make(map[mem.PageID]*pageRecord),
 		losIncoming:     make(map[objmodel.Ref]int),
-		footprintTarget: math.MaxInt,
 		allocsSinceGC:   1 << 20,
 		gcRequestAfter:  minGCRequestAfter,
 		nurseryPtrCache: make(map[mem.PageID]bool),
@@ -194,6 +189,11 @@ func New(env *gc.Env, cfg Config) *BC {
 	c.remset.SetFilter(func(slot mem.Addr) bool {
 		return c.nursery.Contains(c.E.Space.ReadAddr(slot))
 	})
+	// The paper's shrink-to-footprint/regrow rule is BC's native heap
+	// policy; install it unless the harness chose another.
+	if env.HeapPolicy == nil {
+		env.HeapPolicy = heappolicy.NewBCShrink(heappolicy.BCShrinkOptions{Regrow: cfg.Regrow})
+	}
 	env.Proc.Register((*bcHandler)(c))
 	c.resizeNursery()
 	return c
@@ -218,23 +218,13 @@ func (c *BC) pageOK(p mem.PageID) bool {
 	return c.cfg.ResizeOnly || !c.booksValid || !c.evicted.Test(int(p))
 }
 
-// budget returns the effective heap budget in pages: the configured size,
-// squeezed by memory pressure, but never below what live mature data plus
-// a minimal nursery requires (BC grows at the cost of paging only when
-// needed for completion, §3.3.3).
+// budget returns the effective heap budget in pages: the configured
+// size, squeezed by the heap policy (for BC's default bc-shrink, by
+// memory pressure, §3.3.3), but never below what live mature data plus
+// a minimal nursery requires — BC grows at the cost of paging only
+// when needed for completion.
 func (c *BC) budget() int {
-	// The pressure-shrunk target never squeezes below what live mature
-	// data plus a minimal nursery requires — BC grows (at the cost of
-	// paging) when that is necessary for completion — but the configured
-	// maximum heap is still a hard ceiling.
-	target := c.footprintTarget
-	if floor := c.MatureUsedPages() + gc.MinNurseryPages; target < floor {
-		target = floor
-	}
-	if target > c.E.HeapPages {
-		return c.E.HeapPages
-	}
-	return target
+	return c.E.HeapBudget(c.MatureUsedPages() + gc.MinNurseryPages)
 }
 
 // resetNursery empties the nursery after a collection and drops the
@@ -411,6 +401,9 @@ func (c *BC) Collect(full bool) {
 			c.fullGC()
 		}
 	}
+	// Rate-driven policies (membalancer, composed) recompute their
+	// target from post-GC live size and cost; bc-shrink ignores this.
+	gc.ObserveHeapPolicy(c, heappolicy.EvGCEnd, -1)
 	c.resizeNursery()
 }
 

@@ -269,11 +269,11 @@ func TestBCShrinksFootprintUnderPressure(t *testing.T) {
 		}
 	}
 	buildListNoCheck(100000)
-	target0 := c.footprintTarget
+	target0 := c.E.HeapPolicy.Target()
 	pressurize(v, 128)
 	buildListNoCheck(100000)
-	if c.footprintTarget >= target0 {
-		t.Fatalf("footprint target did not shrink: %d -> %d", target0, c.footprintTarget)
+	if got := c.E.HeapPolicy.Target(); got >= target0 {
+		t.Fatalf("footprint target did not shrink: %d -> %d", target0, got)
 	}
 	if c.budget() > c.E.HeapPages {
 		t.Fatal("budget exceeds configured heap")
@@ -289,7 +289,7 @@ func TestBCRegrowAfterTransientPressure(t *testing.T) {
 	for i := 0; i < 100000; i++ {
 		c.Alloc(node, 0)
 	}
-	shrunk := c.footprintTarget
+	shrunk := c.E.HeapPolicy.Target()
 	if shrunk >= c.E.HeapPages {
 		t.Skip("pressure did not shrink the target")
 	}
@@ -297,8 +297,8 @@ func TestBCRegrowAfterTransientPressure(t *testing.T) {
 	for i := 0; i < 400000; i++ {
 		c.Alloc(node, 0)
 	}
-	if c.footprintTarget <= shrunk {
-		t.Fatalf("footprint target never regrew: stuck at %d", c.footprintTarget)
+	if got := c.E.HeapPolicy.Target(); got <= shrunk {
+		t.Fatalf("footprint target never regrew: stuck at %d", got)
 	}
 }
 

@@ -2,9 +2,9 @@ package core
 
 import (
 	"sort"
-	"time"
 
 	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
 	"bookmarkgc/internal/trace"
@@ -52,7 +52,6 @@ func (h *bcHandler) EvictionScheduled(p mem.PageID) {
 		c.E.Counters.Inc(trace.CDuplicateNotices)
 		return
 	}
-	c.lastNotify = c.E.Clock.Now()
 	c.E.Trace.Point(trace.EvEvictionScheduled, int64(p), 0)
 	c.shrinkTarget()
 
@@ -141,35 +140,22 @@ func (c *BC) reloadBooks(p mem.PageID) {
 	c.retryDeferred()
 }
 
-// shrinkTarget limits the heap to the current footprint (§3.3.3). The
-// credit from aggressive discards keeps those voluntary returns from
-// shrinking the target further (§3.4.3).
+// shrinkTarget reports the eviction notice to the heap policy with
+// BC's own residency books as the footprint: with the default
+// bc-shrink policy this limits the heap to the current footprint
+// (§3.3.3). The credit from aggressive discards keeps those voluntary
+// returns from shrinking the target further (§3.4.3).
 func (c *BC) shrinkTarget() {
-	cur := c.resident.Count() + c.discardCredit
-	if cur < c.footprintTarget {
-		c.E.Trace.Point(trace.EvHeapShrink, int64(cur), int64(c.footprintTarget))
-		c.E.Counters.Inc(trace.CHeapShrinks)
-		c.footprintTarget = cur
-	}
+	gc.ObserveHeapPolicy(c, heappolicy.EvPressure, c.resident.Count()+c.discardCredit)
 }
 
-// maybeRegrow (§7 extension, Config.Regrow) raises the footprint target
-// again once the VMM has had free memory for a while.
+// maybeRegrow gives the heap policy its mutator tick; under the
+// default bc-shrink policy with Config.Regrow this raises the
+// footprint target again once the VMM has had free memory for a while
+// (§7 extension). A raised target takes effect immediately via a
+// nursery resize.
 func (c *BC) maybeRegrow() {
-	if !c.cfg.Regrow || c.footprintTarget >= c.E.HeapPages {
-		return
-	}
-	if c.E.Clock.Now()-c.lastNotify < 10*time.Millisecond {
-		return
-	}
-	if c.E.Proc.FreeFramesHint() > c.E.HeapPages/8 {
-		was := c.footprintTarget
-		c.footprintTarget += c.footprintTarget / 8
-		if c.footprintTarget > c.E.HeapPages {
-			c.footprintTarget = c.E.HeapPages
-		}
-		c.E.Trace.Point(trace.EvHeapRegrow, int64(c.footprintTarget), int64(was))
-		c.E.Counters.Inc(trace.CHeapRegrows)
+	if from, to := gc.ObserveHeapPolicy(c, heappolicy.EvMutator, -1); to > from {
 		c.resizeNursery()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bookmarkgc/internal/heap"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/objmodel"
@@ -29,8 +30,15 @@ type Env struct {
 
 	// HeapPages is the collector's page budget — the "heap size" of the
 	// paper's experiments. Collectors trigger collection to stay within
-	// it; BC additionally shrinks it under memory pressure (§3.3.3).
+	// it; HeapPolicy may lower the effective budget below it.
 	HeapPages int
+
+	// HeapPolicy, when non-nil, is the pluggable heap-limit control
+	// loop (internal/heappolicy). Collectors consult it through
+	// HeapBudget/HeapLimitPages and feed it via ObserveHeapPolicy. A
+	// nil policy means the fixed budget: HeapPages, exactly. BC
+	// installs the extracted bc-shrink policy by default (§3.3.3/§7).
+	HeapPolicy heappolicy.Policy
 
 	// Trace receives span and point events from the collector; defaults
 	// to the no-op tracer. Counters, when non-nil, accumulates the

@@ -1,0 +1,81 @@
+package gc
+
+import (
+	"bookmarkgc/internal/heappolicy"
+	"bookmarkgc/internal/trace"
+)
+
+// HeapBudget returns the effective heap budget in pages: the policy's
+// target clamped to [floor, HeapPages]. floor is the smallest budget
+// the collector can operate with (typically live mature pages plus a
+// minimum nursery) — a policy may ask for less, but the collector
+// cannot honor it. A nil policy is the fixed budget: HeapPages,
+// exactly, whatever the floor.
+func (e *Env) HeapBudget(floor int) int {
+	if e.HeapPolicy == nil {
+		return e.HeapPages
+	}
+	target := e.HeapPolicy.Target()
+	if target < floor {
+		target = floor
+	}
+	if target > e.HeapPages {
+		return e.HeapPages
+	}
+	return target
+}
+
+// HeapLimitPages returns the current heap target with no collector
+// floor applied — the figure telemetry samples and reports show.
+func (e *Env) HeapLimitPages() int {
+	if e.HeapPolicy == nil {
+		return e.HeapPages
+	}
+	if t := e.HeapPolicy.Target(); t < e.HeapPages {
+		return t
+	}
+	return e.HeapPages
+}
+
+// ObserveHeapPolicy feeds one observation to col's heap policy and
+// emits the shrink/regrow trace points and counters for any target
+// change. footprint is the resident-page figure for EvPressure
+// observations (BC passes its own books); pass a negative value to use
+// the VMM's count. Returns the target before and after; (0, 0) when no
+// policy is installed. The policy's Wants gate keeps this nearly free
+// on the mutator path for policies that ignore EvMutator.
+func ObserveHeapPolicy(col Collector, ev heappolicy.Event, footprint int) (from, to int) {
+	env := col.Env()
+	pol := env.HeapPolicy
+	if pol == nil || !pol.Wants(ev) {
+		return 0, 0
+	}
+	if footprint < 0 {
+		footprint = env.Proc.ResidentPages()
+	}
+	st := col.Stats()
+	s := heappolicy.Signals{
+		NowNS:          int64(env.Clock.Now()),
+		MaxHeapPages:   env.HeapPages,
+		UsedPages:      col.UsedPages(),
+		FootprintPages: footprint,
+		FreeFrames:     env.Proc.FreeFramesHint(),
+		AllocBytes:     st.BytesAlloc,
+		GCs:            st.Nursery + st.Full,
+	}
+	if ev == heappolicy.EvGCEnd {
+		s.GCTimeNS = int64(st.Timeline.TotalPause())
+	}
+	from = pol.Target()
+	to = pol.Observe(ev, s)
+	env.Counters.Inc(trace.CPolicyObservations)
+	switch {
+	case to < from:
+		env.Trace.Point(trace.EvHeapShrink, int64(to), int64(from))
+		env.Counters.Inc(trace.CHeapShrinks)
+	case to > from:
+		env.Trace.Point(trace.EvHeapRegrow, int64(to), int64(from))
+		env.Counters.Inc(trace.CHeapRegrows)
+	}
+	return from, to
+}

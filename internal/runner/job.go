@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/sim"
 	"bookmarkgc/internal/trace"
@@ -76,6 +77,12 @@ type Job struct {
 	// left zero (Collector/Program/Heap/Phys live inside the spec). The
 	// spec is a pure value, so it hashes with the job.
 	Fleet *sim.FleetSpec `json:"fleet,omitempty"`
+
+	// HeapPolicy names the run's heap-limit policy (internal/heappolicy;
+	// "" = the collector's default). Fleet jobs carry policies inside
+	// the spec instead. Appended after Fleet so empty-policy jobs keep
+	// their pre-existing hashes.
+	HeapPolicy string `json:"heap_policy,omitempty"`
 }
 
 // Hash returns the job's canonical content hash: hex SHA-256 of its JSON
@@ -104,9 +111,15 @@ func (j Job) validate() error {
 	if j.Trace != nil && j.Trace.Path == "" {
 		return fmt.Errorf("runner: trace %q has no resolved path on this machine", j.Trace.Name)
 	}
+	if j.HeapPolicy != "" && !heappolicy.Known(j.HeapPolicy) {
+		return fmt.Errorf("runner: unknown heap policy %q (valid: %v)", j.HeapPolicy, heappolicy.Names())
+	}
 	if j.Fleet != nil {
 		if j.JVMs > 1 || j.Pressure != nil || j.Chaos != nil || j.Trace != nil {
 			return fmt.Errorf("runner: fleet jobs carry their whole configuration in the spec (jvms/pressure/chaos/trace must be unset)")
+		}
+		if j.HeapPolicy != "" {
+			return fmt.Errorf("runner: fleet jobs name heap policies inside the spec (heap_policy must be unset)")
 		}
 		if err := j.Fleet.Validate(); err != nil {
 			return err
@@ -188,16 +201,17 @@ func execute(j Job) *Result {
 	}
 	if j.JVMs > 1 {
 		rs := sim.RunMulti(sim.MultiConfig{
-			Collector: j.Collector,
-			Program:   j.Program,
-			HeapBytes: j.HeapBytes,
-			PhysBytes: j.PhysBytes,
-			JVMs:      j.JVMs,
-			Quantum:   j.Quantum,
-			Seed:      j.Seed,
-			Costs:     j.Costs,
-			Counters:  ctrs,
-			Workload:  src,
+			Collector:  j.Collector,
+			Program:    j.Program,
+			HeapBytes:  j.HeapBytes,
+			PhysBytes:  j.PhysBytes,
+			JVMs:       j.JVMs,
+			Quantum:    j.Quantum,
+			Seed:       j.Seed,
+			Costs:      j.Costs,
+			Counters:   ctrs,
+			Workload:   src,
+			HeapPolicy: j.HeapPolicy,
 		})
 		if len(rs) != j.JVMs {
 			// RunMulti signals an invalid configuration with a single
@@ -214,16 +228,17 @@ func execute(j Job) *Result {
 		}
 	} else {
 		r := sim.Run(sim.RunConfig{
-			Collector: j.Collector,
-			Program:   j.Program,
-			HeapBytes: j.HeapBytes,
-			PhysBytes: j.PhysBytes,
-			Pressure:  j.Pressure,
-			Seed:      j.Seed,
-			Costs:     j.Costs,
-			Chaos:     j.Chaos,
-			Counters:  ctrs,
-			Workload:  src,
+			Collector:  j.Collector,
+			Program:    j.Program,
+			HeapBytes:  j.HeapBytes,
+			PhysBytes:  j.PhysBytes,
+			Pressure:   j.Pressure,
+			Seed:       j.Seed,
+			Costs:      j.Costs,
+			Chaos:      j.Chaos,
+			Counters:   ctrs,
+			Workload:   src,
+			HeapPolicy: j.HeapPolicy,
 		})
 		res.Runs = append(res.Runs, newRunData(r))
 	}

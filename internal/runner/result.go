@@ -111,21 +111,27 @@ type FleetData struct {
 	Fairness       float64 `json:"eviction_fairness"`
 	// PauseP99NS is each tenant's p99 pause, aligned with Result.Runs.
 	PauseP99NS []int64 `json:"pause_p99_ns,omitempty"`
+	// BalancerRounds counts fleet MemBalancer redistribution rounds.
+	BalancerRounds int `json:"balancer_rounds,omitempty"`
+	// AggPeakResident sums every tenant's peak resident page count.
+	AggPeakResident uint64 `json:"agg_peak_resident,omitempty"`
 }
 
 // newFleetData flattens a fleet result's fleet-level measurements.
 func newFleetData(fr sim.FleetResult) *FleetData {
 	return &FleetData{
-		InitialPolicy:  string(fr.InitialPolicy),
-		FinalPolicy:    string(fr.Policy),
-		Cascades:       fr.Cascades,
-		Escalated:      fr.Escalated,
-		AggMinorFaults: fr.AggMinorFaults,
-		AggMajorFaults: fr.AggMajorFaults,
-		AggEvictions:   fr.AggEvictions,
-		ArbiterVetoes:  fr.ArbiterVetoes,
-		Fairness:       fr.Fairness,
-		PauseP99NS:     fr.PauseP99NS,
+		InitialPolicy:   string(fr.InitialPolicy),
+		FinalPolicy:     string(fr.Policy),
+		Cascades:        fr.Cascades,
+		Escalated:       fr.Escalated,
+		AggMinorFaults:  fr.AggMinorFaults,
+		AggMajorFaults:  fr.AggMajorFaults,
+		AggEvictions:    fr.AggEvictions,
+		ArbiterVetoes:   fr.ArbiterVetoes,
+		Fairness:        fr.Fairness,
+		PauseP99NS:      fr.PauseP99NS,
+		BalancerRounds:  fr.BalancerRounds,
+		AggPeakResident: fr.AggPeakResident,
 	}
 }
 

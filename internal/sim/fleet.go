@@ -6,6 +6,7 @@ import (
 
 	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/telemetry"
@@ -63,6 +64,10 @@ type TenantSpec struct {
 	AdmitAtNS int64 `json:"admit_at_ns,omitempty"`
 	// Weight is the tenant's proportional-share weight (default 1).
 	Weight int `json:"weight,omitempty"`
+	// HeapPolicy names the tenant's heap-limit policy
+	// (internal/heappolicy), overriding FleetSpec.HeapPolicy. Empty
+	// falls back to the fleet default, then the collector's own.
+	HeapPolicy string `json:"heap_policy,omitempty"`
 }
 
 // FleetSpec is the serializable description of one fleet run: the
@@ -81,6 +86,17 @@ type FleetSpec struct {
 	ChaosSeed int64 `json:"chaos_seed,omitempty"`
 	// Policy is the starting arbitration policy (default global-lru).
 	Policy ArbitrationPolicy `json:"policy,omitempty"`
+
+	// HeapPolicy names the default heap-limit policy for every tenant
+	// (internal/heappolicy); per-tenant HeapPolicy overrides it. Empty
+	// keeps each collector's own default.
+	HeapPolicy string `json:"heap_policy,omitempty"`
+	// BalanceEveryNS arms the fleet MemBalancer: every BalanceEveryNS
+	// of simulated time the machine's unpinned memory is redistributed
+	// across tenants whose policies participate (heappolicy.Balancable)
+	// in proportion to their square-root terms, by capping each
+	// participant's heap target. Zero disables the balancer.
+	BalanceEveryNS int64 `json:"balance_every_ns,omitempty"`
 
 	// Degradation ladder. The cascade detector samples the fleet-wide
 	// major-fault rate every CascadeWindowNS of simulated time; when the
@@ -157,6 +173,13 @@ type FleetResult struct {
 	// Fairness is Jain's index over per-tenant eviction counts: 1.0 is
 	// perfectly even pressure, 1/n is one tenant absorbing everything.
 	Fairness float64
+
+	// BalancerRounds counts fleet MemBalancer redistribution rounds
+	// (zero unless FleetSpec.BalanceEveryNS armed the balancer).
+	BalancerRounds int
+	// AggPeakResident is the sum of every tenant's peak resident page
+	// count — the fleet's memory-side Pareto axis.
+	AggPeakResident uint64
 
 	// ElapsedSecs is the fleet's total simulated time.
 	ElapsedSecs float64
@@ -244,6 +267,9 @@ type fleetRun struct {
 	escalated  bool
 	fleetDumps []string
 	dumpSeq    int
+
+	// Fleet MemBalancer state.
+	balancerRounds int
 }
 
 // shareFrames is tenant t's weighted share of the machine's frames.
@@ -374,8 +400,18 @@ func RunFleet(cfg FleetConfig) FleetResult {
 			res.ErrTenant = i
 			return res
 		}
+		polName := ts.HeapPolicy
+		if polName == "" {
+			polName = spec.HeapPolicy
+		}
+		pol, err := resolvePolicy(polName, ts.Collector)
+		if err != nil {
+			res.Err = err
+			res.ErrTenant = i
+			return res
+		}
 		env, col, run, err := newInstance(v, name, ts.Collector,
-			ts.HeapBytes, src, spec.Seed+ts.Seed+int64(i), tr, cfg.Counters, cfg.MarkWorkers)
+			ts.HeapBytes, src, spec.Seed+ts.Seed+int64(i), tr, cfg.Counters, cfg.MarkWorkers, pol)
 		if err != nil {
 			res.Err = err
 			res.ErrTenant = i
@@ -449,6 +485,20 @@ func RunFleet(cfg FleetConfig) FleetResult {
 			clock.Schedule(clock.Now()+window, tick)
 		}
 		clock.Schedule(clock.Now()+window, tick)
+	}
+
+	// Arm the fleet MemBalancer on the simulated clock: same cadence
+	// pattern as the cascade detector, so redistribution is a pure
+	// function of simulated time and byte-identical for any host
+	// parallelism.
+	if spec.BalanceEveryNS > 0 {
+		every := time.Duration(spec.BalanceEveryNS)
+		var tick func()
+		tick = func() {
+			f.rebalance()
+			clock.Schedule(clock.Now()+every, tick)
+		}
+		clock.Schedule(clock.Now()+every, tick)
 	}
 
 	// step advances one tenant by a quantum, converting an out-of-memory
@@ -549,6 +599,7 @@ func RunFleet(cfg FleetConfig) FleetResult {
 		res.AggMinorFaults += r.ProcStats.MinorFaults
 		res.AggMajorFaults += r.ProcStats.MajorFaults
 		res.AggEvictions += r.ProcStats.Evictions
+		res.AggPeakResident += r.ProcStats.PeakResident
 		evictions[i] = float64(r.ProcStats.Evictions)
 		res.PauseP99NS[i] = int64(telemetry.FromTimeline(&r.Timeline).Quantile(0.99))
 	}
@@ -561,6 +612,7 @@ func RunFleet(cfg FleetConfig) FleetResult {
 	}
 	res.Cascades = f.cascades
 	res.Escalated = f.escalated
+	res.BalancerRounds = f.balancerRounds
 	res.FleetDumps = f.fleetDumps
 	return res
 }
@@ -646,6 +698,63 @@ func (f *fleetRun) cascade(windowFaults uint64, window time.Duration, sustain in
 	f.dumpSeq++
 	if path := telemetry.WriteFleetBundle(f.cfg.FlightDir, f.dumpSeq, b, f.quota); path != "" {
 		f.fleetDumps = append(f.fleetDumps, path)
+	}
+}
+
+// rebalance is one fleet MemBalancer round: redistribute the machine's
+// unpinned memory across tenants whose heap policies participate
+// (heappolicy.Balancable with established rates), in proportion to
+// their square-root terms. Non-participants — fixed budgets, policies
+// still warming up, dead tenants — keep what they hold; their resident
+// bytes are subtracted from the distributable budget first. Caps
+// compose with, never bypass, the eviction arbiter: a cap only lowers
+// a tenant's own heap target, and the VMM still decides which pages
+// go. Runs on the simulated clock in tenant index order, so every
+// round is deterministic.
+func (f *fleetRun) rebalance() {
+	f.balancerRounds++
+	f.cfg.Counters.Inc(trace.CBalancerRounds)
+
+	budget := float64(f.v.TotalFrames()-f.v.PinnedFrames()) * float64(mem.PageSize)
+	type participant struct {
+		pol  heappolicy.Balancable
+		live float64
+		w    float64
+	}
+	var parts []participant
+	var sumLive, sumW float64
+	for _, t := range f.tenants {
+		b, ok := t.env.HeapPolicy.(heappolicy.Balancable)
+		if ok && !t.done && t.failed == nil {
+			live, w := b.BalanceStats()
+			if w > 0 {
+				parts = append(parts, participant{pol: b, live: live, w: w})
+				sumLive += live
+				sumW += w
+				continue
+			}
+			// No established rates yet: run uncapped until the policy
+			// has enough history to state a square-root term.
+			b.SetFleetCap(0)
+		}
+		budget -= float64(t.env.Proc.ResidentPages()) * float64(mem.PageSize)
+	}
+	if len(parts) == 0 {
+		return
+	}
+	extra := budget - sumLive
+	if extra < 0 {
+		extra = 0
+	}
+	for _, p := range parts {
+		capPages := int((p.live + extra*p.w/sumW) / float64(mem.PageSize))
+		if capPages < 1 {
+			capPages = 1
+		}
+		if capPages < p.pol.Target() {
+			f.cfg.Counters.Inc(trace.CPolicyClamps)
+		}
+		p.pol.SetFleetCap(capPages)
 	}
 }
 

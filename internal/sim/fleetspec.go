@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"bookmarkgc/internal/fault"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/mutator"
 	"bookmarkgc/internal/vmm"
@@ -46,6 +47,12 @@ func (s *FleetSpec) Validate() error {
 	if s.EscalateTo != "" && !policyKnown(s.EscalateTo) {
 		return fmt.Errorf("sim: unknown escalation policy %q", s.EscalateTo)
 	}
+	if s.HeapPolicy != "" && !heappolicy.Known(s.HeapPolicy) {
+		return fmt.Errorf("sim: unknown heap policy %q (valid: %v)", s.HeapPolicy, heappolicy.Names())
+	}
+	if s.BalanceEveryNS < 0 {
+		return fmt.Errorf("sim: balance_every_ns %d is negative", s.BalanceEveryNS)
+	}
 	for i, t := range s.Tenants {
 		if !kindKnown(t.Collector) {
 			return fmt.Errorf("sim: tenant %d: unknown collector %q", i, t.Collector)
@@ -60,6 +67,9 @@ func (s *FleetSpec) Validate() error {
 			if _, ok := fault.ByName(t.Chaos, 0); !ok {
 				return fmt.Errorf("sim: tenant %d: unknown chaos regime %q", i, t.Chaos)
 			}
+		}
+		if t.HeapPolicy != "" && !heappolicy.Known(t.HeapPolicy) {
+			return fmt.Errorf("sim: tenant %d: unknown heap policy %q (valid: %v)", i, t.HeapPolicy, heappolicy.Names())
 		}
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"bookmarkgc/internal/core"
 	"bookmarkgc/internal/fault"
 	"bookmarkgc/internal/gc"
+	"bookmarkgc/internal/heappolicy"
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/metrics"
 	"bookmarkgc/internal/mutator"
@@ -221,18 +222,44 @@ func (s *SignalMem) grow() {
 	s.v.Clock.Schedule(s.v.Clock.Now()+s.p.GrowEvery, s.grow)
 }
 
+// resolvePolicy builds the named heap policy ("" = none: the fixed
+// configured budget, and BC's built-in default). BC's Regrow variant
+// carries its regrow flag into an explicit bc-shrink policy so
+// "-heap-policy bc-shrink" on BC-Regrow keeps the §7 extension.
+func resolvePolicy(name string, kind CollectorKind) (heappolicy.Policy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	return heappolicy.New(name, heappolicy.Options{Regrow: kind == BCRegrow})
+}
+
+// policyRelay forwards the VMM's eviction notices to a
+// pressure-sensitive heap policy for collectors that have no
+// vmm.Handler of their own (everything but BC). Registering a handler
+// also marks the process cooperative for the fleet arbiter —
+// intentionally: the pressure-sensitive policy IS this process's
+// cooperation mechanism.
+type policyRelay struct{ col gc.Collector }
+
+func (r *policyRelay) EvictionScheduled(mem.PageID) {
+	gc.ObserveHeapPolicy(r.col, heappolicy.EvPressure, -1)
+}
+
+func (r *policyRelay) PageReloaded(mem.PageID, bool) {}
+
 // newInstance assembles one JVM on machine v: its environment (named
-// name), trace and counter wiring, declared types, collector, and
-// stepable workload. Run and RunMulti both build instances through
-// it so their setup paths cannot drift apart. A nil tr keeps the
-// environment's default no-op tracer. src is the workload factory —
-// a mutator.Spec for the generated programs, or a trace source
-// (internal/workload) for replayed ones. markWorkers overrides the
-// parallel mark engine's worker count when positive (0 keeps the
-// process-wide default); any value produces bit-identical output.
+// name), trace and counter wiring, declared types, heap policy,
+// collector, and stepable workload. Run and RunMulti both build
+// instances through it so their setup paths cannot drift apart. A nil
+// tr keeps the environment's default no-op tracer. src is the workload
+// factory — a mutator.Spec for the generated programs, or a trace
+// source (internal/workload) for replayed ones. markWorkers overrides
+// the parallel mark engine's worker count when positive (0 keeps the
+// process-wide default); any value produces bit-identical output. pol
+// is the heap-limit policy (nil = collector default).
 func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
 	src mutator.Source, seed int64, tr trace.Tracer, ctrs *trace.Counters,
-	markWorkers int) (*gc.Env, gc.Collector, mutator.Workload, error) {
+	markWorkers int, pol heappolicy.Policy) (*gc.Env, gc.Collector, mutator.Workload, error) {
 	env := gc.NewEnv(v, name, heapBytes)
 	if tr != nil {
 		env.Trace = tr
@@ -241,10 +268,14 @@ func newInstance(v *vmm.VMM, name string, kind CollectorKind, heapBytes uint64,
 	if markWorkers > 0 {
 		env.MarkWorkers = markWorkers
 	}
+	env.HeapPolicy = pol
 	types := mutator.DeclareTypes(env)
 	col, err := NewCollector(kind, env)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if pol != nil && pol.PressureSensitive() && env.Proc.Handler() == nil {
+		env.Proc.Register(&policyRelay{col: col})
 	}
 	wl, err := src.NewWorkload(col, types, seed)
 	if err != nil {
@@ -299,6 +330,12 @@ type RunConfig struct {
 	// flight recorder (internal/telemetry). Like Trace, it observes only:
 	// an instrumented run is bit-identical to an uninstrumented one.
 	Telemetry *telemetry.Collector
+
+	// HeapPolicy names the heap-limit policy (internal/heappolicy:
+	// fixed, bc-shrink, membalancer, composed). Empty keeps the
+	// collector's default: the fixed configured budget, except BC,
+	// whose native bc-shrink rule is the default.
+	HeapPolicy string
 }
 
 // chaosQuantum is the mutator step size between injector safepoints.
@@ -350,8 +387,12 @@ func Run(cfg RunConfig) (res Result) {
 	if cfg.Workload != nil {
 		src = cfg.Workload
 	}
+	pol, err := resolvePolicy(cfg.HeapPolicy, cfg.Collector)
+	if err != nil {
+		return Result{Config: cfg, Err: err}
+	}
 	env, col, run, err := newInstance(v, string(cfg.Collector), cfg.Collector,
-		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters, cfg.MarkWorkers)
+		cfg.HeapBytes, src, cfg.Seed, tr, cfg.Counters, cfg.MarkWorkers, pol)
 	if err != nil {
 		return Result{Config: cfg, Err: err}
 	}
@@ -444,6 +485,9 @@ type MultiConfig struct {
 	// worker count for every JVM (0 = process-wide default). Output is
 	// bit-identical for any value.
 	MarkWorkers int
+
+	// HeapPolicy names every JVM's heap-limit policy ("" = default).
+	HeapPolicy string
 }
 
 // RunMulti round-robins the JVMs on one simulated CPU until all complete,
@@ -465,7 +509,8 @@ func RunMulti(cfg MultiConfig) []Result {
 			HeapBytes: cfg.HeapBytes,
 			// The fleet engine seeds tenant i with Spec.Seed+Seed+i;
 			// carrying cfg.Seed here reproduces RunMulti's Seed+i.
-			Seed: cfg.Seed,
+			Seed:       cfg.Seed,
+			HeapPolicy: cfg.HeapPolicy,
 		}
 		if workloads != nil {
 			workloads[i] = cfg.Workload

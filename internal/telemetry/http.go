@@ -147,6 +147,7 @@ canvas { width: 100%; height: 80px; display: block; }
 <script>
 const CHARTS = [
   {title: "heap used (pages)", col: "heap_used_pages", color: "#0366d6"},
+  {title: "heap limit (pages)", col: "heap_limit_pages", color: "#005cc5"},
   {title: "resident (pages)", col: "resident_pages", color: "#28a745"},
   {title: "free frames", col: "free_frames", color: "#6f42c1"},
   {title: "major faults /sample", col: "major_faults", color: "#d73a49", delta: true},

@@ -30,6 +30,7 @@ func (c *Collector) WriteProm(w io.Writer) error {
 	fmt.Fprintf(bw, "# TYPE gcsim_sim_time_seconds gauge\n")
 	fmt.Fprintf(bw, "gcsim_sim_time_seconds %s\n", promFloat(float64(last[ColTimeNS])/1e9))
 	g("gcsim_heap_used_pages", "Collector-accounted heap footprint in pages.", "gauge", last[ColHeapUsedPages])
+	g("gcsim_heap_limit_pages", "Policy-effective heap limit in pages.", "gauge", last[ColHeapLimitPages])
 	g("gcsim_resident_pages", "Process pages resident in physical memory.", "gauge", last[ColResidentPages])
 	g("gcsim_pinned_frames", "Frames pinned away by signalmem.", "gauge", last[ColPinnedFrames])
 	g("gcsim_free_frames", "Unallocated physical frames.", "gauge", last[ColFreeFrames])

@@ -54,24 +54,30 @@ const (
 	ColGCs
 	// ColInPause is 1 when the sample landed inside a stop-the-world pause.
 	ColInPause
+	// ColHeapLimitPages is the policy-effective heap limit in pages:
+	// the configured heap clamped by the heap-limit policy's current
+	// target (internal/heappolicy). With no policy it equals the
+	// configured heap exactly.
+	ColHeapLimitPages
 
 	numColumns
 )
 
 var columnNames = [numColumns]string{
-	ColTimeNS:        "time_ns",
-	ColHeapUsedPages: "heap_used_pages",
-	ColResidentPages: "resident_pages",
-	ColPinnedFrames:  "pinned_frames",
-	ColFreeFrames:    "free_frames",
-	ColMinorFaults:   "minor_faults",
-	ColMajorFaults:   "major_faults",
-	ColEvictions:     "evictions",
-	ColAllocBytes:    "alloc_bytes",
-	ColBookmarks:     "objects_bookmarked",
-	ColPagesEvicted:  "pages_evicted",
-	ColGCs:           "gcs",
-	ColInPause:       "in_pause",
+	ColTimeNS:         "time_ns",
+	ColHeapUsedPages:  "heap_used_pages",
+	ColResidentPages:  "resident_pages",
+	ColPinnedFrames:   "pinned_frames",
+	ColFreeFrames:     "free_frames",
+	ColMinorFaults:    "minor_faults",
+	ColMajorFaults:    "major_faults",
+	ColEvictions:      "evictions",
+	ColAllocBytes:     "alloc_bytes",
+	ColBookmarks:      "objects_bookmarked",
+	ColPagesEvicted:   "pages_evicted",
+	ColGCs:            "gcs",
+	ColInPause:        "in_pause",
+	ColHeapLimitPages: "heap_limit_pages",
 }
 
 func (c Column) String() string {
@@ -279,6 +285,7 @@ func (c *Collector) sampleLocked(at time.Duration) {
 	row[ColBookmarks] = int64(gs.Bookmarked)
 	row[ColPagesEvicted] = int64(gs.PagesEvicted)
 	row[ColGCs] = int64(gs.Nursery + gs.Full)
+	row[ColHeapLimitPages] = int64(c.env.HeapLimitPages())
 	if c.cur != nil {
 		row[ColInPause] = 1
 	}

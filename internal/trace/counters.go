@@ -169,6 +169,18 @@ const (
 	// any dump captured them.
 	CTelemetryRingDrops
 
+	// Heap-policy counters (internal/heappolicy): the pluggable
+	// heap-limit control loop and the fleet balancer built on it.
+
+	// CPolicyObservations counts signals fed to a heap policy that the
+	// policy wanted (its Wants gate passed).
+	CPolicyObservations
+	// CBalancerRounds counts fleet-balancer redistribution rounds.
+	CBalancerRounds
+	// CPolicyClamps counts tenants whose fleet cap came out below the
+	// policy's own target during a balancer round.
+	CPolicyClamps
+
 	numCounters
 )
 
@@ -229,6 +241,9 @@ var counterNames = [numCounters]string{
 	CTelemetrySamples:       "telemetry_samples",
 	CTelemetryFlightDumps:   "telemetry_flight_dumps",
 	CTelemetryRingDrops:     "telemetry_ring_drops",
+	CPolicyObservations:     "heap_policy_observations",
+	CBalancerRounds:         "balancer_rounds",
+	CPolicyClamps:           "balancer_policy_clamps",
 }
 
 // MarkCounters lists the mark counter group in declaration order —
@@ -244,6 +259,12 @@ func MarkCounters() []Counter {
 // order — the inventory gcsim -list prints.
 func TelemetryCounters() []Counter {
 	return []Counter{CTelemetrySamples, CTelemetryFlightDumps, CTelemetryRingDrops}
+}
+
+// HeapPolicyCounters lists the heap-policy counter group in
+// declaration order — the inventory gcsim -list prints.
+func HeapPolicyCounters() []Counter {
+	return []Counter{CPolicyObservations, CBalancerRounds, CPolicyClamps}
 }
 
 func (c Counter) String() string {

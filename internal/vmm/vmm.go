@@ -287,6 +287,9 @@ func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
 	}
 	v.used++
 	p.resident++
+	if uint64(p.resident) > p.stats.PeakResident {
+		p.stats.PeakResident = uint64(p.resident)
+	}
 	pi := &p.pages[pg]
 	pi.state = Resident
 	pi.referenced = true
@@ -476,6 +479,10 @@ type ProcStats struct {
 	Evictions   uint64
 	Discards    uint64
 	ProtFaults  uint64
+	// PeakResident is the high-water mark of the process's resident
+	// page count — the memory-side axis of the heap-policy Pareto
+	// experiment.
+	PeakResident uint64
 }
 
 // Proc is one process: an address space plus its page table. It
