@@ -110,10 +110,11 @@ func (c *CopyMS) collect() {
 	c.Stats().Full++
 
 	epoch := c.NextEpoch()
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		if !c.eden.Contains(o) {
-			gc.MarkStep(c.E, &work, o, epoch)
+			gc.MarkStep(c.E, work, o, epoch)
 			return o
 		}
 		if objmodel.Forwarded(c.E.Space, o) {
@@ -149,7 +150,7 @@ func (c *CopyMS) collect() {
 		},
 	}
 	c.E.Trace.Begin(trace.PhaseMark)
-	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, _ *gc.WorkList) {
+	c.E.Marker().Mark(cfg, work, func(e gc.DeferredEdge, _ *gc.WorkList) {
 		if nw := forward(e.Target); nw != e.Target {
 			c.E.Space.WriteAddr(e.Slot, nw)
 		}

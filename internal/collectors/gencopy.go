@@ -180,10 +180,11 @@ func (c *GenCopy) nurseryGC() {
 	gc.PauseClock(c.E, gc.PauseOverhead)
 	c.Stats().Nursery++
 
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
 		if c.nursery.Contains(tgt) {
-			c.E.Space.WriteAddr(slot, c.copyTo(tgt, c.matFrom, &work))
+			c.E.Space.WriteAddr(slot, c.copyTo(tgt, c.matFrom, work))
 		}
 	}
 	c.E.Trace.Begin(trace.PhaseRootScan)
@@ -194,7 +195,7 @@ func (c *GenCopy) nurseryGC() {
 	})
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		if c.nursery.Contains(*slot) {
-			*slot = c.copyTo(*slot, c.matFrom, &work)
+			*slot = c.copyTo(*slot, c.matFrom, work)
 		}
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
@@ -223,11 +224,12 @@ func (c *GenCopy) fullGC() {
 	c.matFrom.Reset()
 	epoch := c.NextEpoch()
 
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		switch {
 		case c.nursery.Contains(o), c.matTo.Contains(o):
-			return c.copyTo(o, c.matFrom, &work)
+			return c.copyTo(o, c.matFrom, work)
 		case c.los.Contains(o):
 			if !objmodel.Marked(c.E.Space, o, epoch) {
 				objmodel.SetMark(c.E.Space, o, epoch)

@@ -167,10 +167,11 @@ func (c *GenMS) nurseryGC() {
 	gc.PauseClock(c.E, gc.PauseOverhead)
 	c.Stats().Nursery++
 
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
 		if c.nursery.Contains(tgt) {
-			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, &work))
+			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, work))
 		}
 	}
 	// Remembered slots first (old-to-young pointers), then roots.
@@ -182,7 +183,7 @@ func (c *GenMS) nurseryGC() {
 	})
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		if c.nursery.Contains(*slot) {
-			*slot = c.copyToMature(*slot, &work)
+			*slot = c.copyToMature(*slot, work)
 		}
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
@@ -219,10 +220,11 @@ func (c *GenMS) fullGC() {
 	c.Stats().Full++
 
 	epoch := c.NextEpoch()
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
-		*slot = c.fullForward(*slot, &work, epoch)
+		*slot = c.fullForward(*slot, work, epoch)
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace (DESIGN.md §11): mature objects are
@@ -239,7 +241,7 @@ func (c *GenMS) fullGC() {
 		},
 	}
 	c.E.Trace.Begin(trace.PhaseMark)
-	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+	c.E.Marker().Mark(cfg, work, func(e gc.DeferredEdge, w *gc.WorkList) {
 		dst := c.copyToMature(e.Target, w)
 		objmodel.SetMark(c.E.Space, dst, epoch)
 		if dst != e.Target {

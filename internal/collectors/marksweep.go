@@ -76,16 +76,17 @@ func (c *MarkSweep) collect() {
 	c.Stats().Full++
 
 	epoch := c.NextEpoch()
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
-		gc.MarkStep(c.E, &work, *slot, epoch)
+		gc.MarkStep(c.E, work, *slot, epoch)
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
 	// Parallel work-stealing trace; in-place marking only, no deferred
 	// edges (DESIGN.md §11).
 	c.E.Trace.Begin(trace.PhaseMark)
-	c.E.Marker().Mark(&gc.ParMarkConfig{Epoch: epoch}, &work, nil)
+	c.E.Marker().Mark(&gc.ParMarkConfig{Epoch: epoch}, work, nil)
 	c.E.Trace.End(trace.PhaseMark)
 	c.E.Trace.Begin(trace.PhaseSweep)
 	c.SS.Sweep(epoch)

@@ -112,10 +112,11 @@ func (c *SemiSpace) collect() {
 	c.to.SetBudget(uint64(c.heapBudget()/2-c.los.UsedPages()) * mem.PageSize)
 	epoch := c.NextEpoch()
 
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
-		*slot = c.forward(*slot, &work, epoch)
+		*slot = c.forward(*slot, work, epoch)
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
 	c.E.Trace.Begin(trace.PhaseCheneyForward)
@@ -125,7 +126,7 @@ func (c *SemiSpace) collect() {
 			break
 		}
 		gc.ScanObject(c.E.Space, c.E.Types, o, func(slot mem.Addr, tgt objmodel.Ref) {
-			c.E.Space.WriteAddr(slot, c.forward(tgt, &work, epoch))
+			c.E.Space.WriteAddr(slot, c.forward(tgt, work, epoch))
 		})
 	}
 	c.E.Trace.End(trace.PhaseCheneyForward)

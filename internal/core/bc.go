@@ -472,10 +472,11 @@ func (c *BC) nurseryGC() {
 	c.E.Trace.Begin(trace.PhaseNurseryScan)
 	defer c.E.Trace.End(trace.PhaseNurseryScan)
 
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	fwd := func(slot mem.Addr, tgt objmodel.Ref) {
 		if c.nursery.Contains(tgt) {
-			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, &work))
+			c.E.Space.WriteAddr(slot, c.copyToMature(tgt, work))
 		}
 	}
 	c.remset.ForEachSlot(func(slot mem.Addr) {
@@ -492,7 +493,7 @@ func (c *BC) nurseryGC() {
 	c.E.Trace.Begin(trace.PhaseRootScan)
 	c.Roots().ForEach(func(slot *mem.Addr) {
 		if c.nursery.Contains(*slot) {
-			*slot = c.copyToMature(*slot, &work)
+			*slot = c.copyToMature(*slot, work)
 		}
 	})
 	c.E.Trace.End(trace.PhaseRootScan)
@@ -600,23 +601,24 @@ func (c *BC) fullGC() {
 	c.Stats().Full++
 
 	epoch := c.NextEpoch()
-	var work gc.WorkList
-	c.curWork, c.curEpoch = &work, epoch
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
+	c.curWork, c.curEpoch = work, epoch
 	defer func() { c.curWork = nil }()
 	c.E.Trace.Begin(trace.PhaseMark)
 	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
-		c.bookmarkRoots(&work, epoch)
+		c.bookmarkRoots(work, epoch)
 	}
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		if c.nursery.Contains(o) {
-			dst := c.copyToMature(o, &work)
+			dst := c.copyToMature(o, work)
 			objmodel.SetMark(c.E.Space, dst, epoch)
 			return dst
 		}
 		if !c.pageOK(o.Page()) {
 			return o // never touch evicted pages
 		}
-		gc.MarkStep(c.E, &work, o, epoch)
+		gc.MarkStep(c.E, work, o, epoch)
 		return o
 	}
 	c.E.Trace.Begin(trace.PhaseRootScan)
@@ -646,7 +648,7 @@ func (c *BC) fullGC() {
 		},
 		SkipObj: func(o objmodel.Ref) bool { return !c.pageOK(o.Page()) },
 	}
-	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+	c.E.Marker().Mark(cfg, work, func(e gc.DeferredEdge, w *gc.WorkList) {
 		dst := c.copyToMature(e.Target, w)
 		objmodel.SetMark(c.E.Space, dst, epoch)
 		if dst != e.Target {

@@ -33,16 +33,17 @@ func (c *BC) compact() {
 
 	// Pass 1: mark.
 	epoch := c.NextEpoch()
-	var work gc.WorkList
-	c.curWork, c.curEpoch = &work, epoch
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
+	c.curWork, c.curEpoch = work, epoch
 	defer func() { c.curWork = nil }()
 	c.E.Trace.Begin(trace.PhaseMark)
 	if c.evictedHeapPg > 0 && !c.cfg.ResizeOnly && c.booksValid {
-		c.bookmarkRoots(&work, epoch)
+		c.bookmarkRoots(work, epoch)
 	}
 	markRoot := func(o objmodel.Ref) {
 		if c.nursery.Contains(o) || c.pageOK(o.Page()) {
-			gc.MarkStep(c.E, &work, o, epoch)
+			gc.MarkStep(c.E, work, o, epoch)
 		}
 	}
 	c.E.Trace.Begin(trace.PhaseRootScan)
@@ -68,7 +69,7 @@ func (c *BC) compact() {
 			return !c.nursery.Contains(o) && !c.pageOK(o.Page())
 		},
 	}
-	c.E.Marker().Mark(cfg, &work, nil)
+	c.E.Marker().Mark(cfg, work, nil)
 
 	c.E.Trace.End(trace.PhaseMark)
 
@@ -91,22 +92,22 @@ func (c *BC) compact() {
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		switch {
 		case c.nursery.Contains(o):
-			return c.compactCopy(o, targets, &work, epoch2, nil)
+			return c.compactCopy(o, targets, work, epoch2, nil)
 		case !c.pageOK(o.Page()):
 			return o
 		case c.SS.Contains(o):
 			idx := c.SS.SuperIndex(o)
 			if targets.all[idx] || objmodel.Bookmarked(c.E.Space, o) {
 				// On a target (or unmovable): scan in place, once.
-				gc.MarkStep(c.E, &work, o, epoch2)
+				gc.MarkStep(c.E, work, o, epoch2)
 				return o
 			}
 			if objmodel.Forwarded(c.E.Space, o) {
 				return objmodel.ForwardAddr(c.E.Space, o)
 			}
-			return c.compactCopy(o, targets, &work, epoch2, &moved)
+			return c.compactCopy(o, targets, work, epoch2, &moved)
 		default: // LOS: never moves
-			gc.MarkStep(c.E, &work, o, epoch2)
+			gc.MarkStep(c.E, work, o, epoch2)
 			return o
 		}
 	}

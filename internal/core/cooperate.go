@@ -277,12 +277,12 @@ func (c *BC) giveDiscardables(exclude mem.PageID) int {
 		return 1
 	}
 	n := 0
-	for _, i := range c.resident.SetBitsInWord(first) {
+	c.resident.ForEachSetInWord(first, func(i int) {
 		if mem.PageID(i) != exclude && c.pageDiscardable(mem.PageID(i)) {
 			c.discardPage(mem.PageID(i))
 			n++
 		}
-	}
+	})
 	if n > 1 {
 		c.discardCredit += n - 1
 	}

@@ -53,14 +53,15 @@ func (c *BC) failSafe() {
 	// driven by the trace update the bitmaps through the handler.
 	epoch := c.NextEpoch()
 	c.E.Trace.Begin(trace.PhaseMark)
-	var work gc.WorkList
+	work := c.E.GetWorkList()
+	defer c.E.PutWorkList(work)
 	forward := func(o objmodel.Ref) objmodel.Ref {
 		if c.nursery.Contains(o) {
-			dst := c.copyToMature(o, &work)
+			dst := c.copyToMature(o, work)
 			objmodel.SetMark(c.E.Space, dst, epoch)
 			return dst
 		}
-		gc.MarkStep(c.E, &work, o, epoch)
+		gc.MarkStep(c.E, work, o, epoch)
 		return o
 	}
 	c.E.Trace.Begin(trace.PhaseRootScan)
@@ -84,7 +85,7 @@ func (c *BC) failSafe() {
 			return gc.EdgeMark
 		},
 	}
-	c.E.Marker().Mark(cfg, &work, func(e gc.DeferredEdge, w *gc.WorkList) {
+	c.E.Marker().Mark(cfg, work, func(e gc.DeferredEdge, w *gc.WorkList) {
 		dst := c.copyToMature(e.Target, w)
 		objmodel.SetMark(c.E.Space, dst, epoch)
 		if dst != e.Target {

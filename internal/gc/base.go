@@ -25,6 +25,13 @@ type Base struct {
 	epoch uint32
 }
 
+// Direct exposes the embedded Base. Data-word access carries no barrier
+// in any collector (barriers interpose on reference stores only), so
+// workload engines may devirtualize their per-access ReadData/WriteData
+// calls through this — the simulated access sequence is identical, only
+// the host-side interface dispatch goes away.
+func (b *Base) Direct() *Base { return b }
+
 // Roots implements the corresponding Collector method.
 func (b *Base) Roots() *Roots { return &b.roots }
 
@@ -133,8 +140,7 @@ func (m *Mature) AllocMature(env *Env, t *objmodel.Type, arrayLen int, budget in
 
 // MarkStep marks target in epoch if unmarked and pushes it for scanning.
 func MarkStep(env *Env, work *WorkList, target objmodel.Ref, epoch uint32) {
-	if !objmodel.Marked(env.Space, target, epoch) {
-		objmodel.SetMark(env.Space, target, epoch)
+	if objmodel.MarkIfUnmarked(env.Space, target, epoch) {
 		work.Push(target)
 	}
 }

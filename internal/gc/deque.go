@@ -13,6 +13,11 @@ import (
 // grows without bound (marking never drops work), and every buffer slot
 // is accessed atomically so the engine is clean under the race detector.
 //
+// Slots hold objmodel.Handle — the 32-bit word index of the reference —
+// rather than the Ref itself, halving the ring's footprint and cache
+// traffic (NewParMarker enforces the 32 GB space bound the encoding
+// needs).
+//
 // Steal-half balancing is built from repeated single-element steals
 // (StealBatch): taking k elements with one CAS on top is unsound here
 // because the owner pops through the same range without synchronizing
@@ -25,11 +30,11 @@ type Deque struct {
 
 type dequeRing struct {
 	mask int64 // len(buf)-1; len is a power of two
-	buf  []atomic.Uint64
+	buf  []atomic.Uint32
 }
 
 func newDequeRing(capacity int64) *dequeRing {
-	return &dequeRing{mask: capacity - 1, buf: make([]atomic.Uint64, capacity)}
+	return &dequeRing{mask: capacity - 1, buf: make([]atomic.Uint32, capacity)}
 }
 
 // minDequeCap is the initial ring capacity.
@@ -61,7 +66,7 @@ func (d *Deque) Push(o objmodel.Ref) {
 	if b-t >= int64(len(r.buf)) {
 		r = d.grow(r, b, t)
 	}
-	r.buf[b&r.mask].Store(uint64(o))
+	r.buf[b&r.mask].Store(uint32(objmodel.ToHandle(o)))
 	d.bottom.Store(b + 1)
 }
 
@@ -90,7 +95,7 @@ func (d *Deque) Pop() (objmodel.Ref, bool) {
 		d.bottom.Store(b + 1)
 		return mem.Nil, false
 	}
-	o := objmodel.Ref(r.buf[b&r.mask].Load())
+	o := objmodel.Handle(r.buf[b&r.mask].Load()).Ref()
 	if t == b {
 		won := d.top.CompareAndSwap(t, t+1)
 		d.bottom.Store(b + 1)
@@ -116,7 +121,7 @@ func (d *Deque) Steal() (o objmodel.Ref, ok bool, contended bool) {
 	if !d.top.CompareAndSwap(t, t+1) {
 		return mem.Nil, false, true
 	}
-	return objmodel.Ref(v), true, false
+	return objmodel.Handle(v).Ref(), true, false
 }
 
 // StealBatch steals up to half of the observed size (at least one, at

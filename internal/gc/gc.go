@@ -7,6 +7,7 @@ package gc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"bookmarkgc/internal/heap"
@@ -54,6 +55,7 @@ type Env struct {
 	MarkWorkers int
 
 	marker *ParMarker
+	wlFree []*WorkList // retired gray stacks (GetWorkList/PutWorkList)
 }
 
 // Marker returns the environment's parallel mark engine, building it on
@@ -181,8 +183,39 @@ type Roots struct {
 	free  []int32
 }
 
+// rootsPool recycles root-registry backing arrays across runs (each run
+// re-grows tens of thousands of slots otherwise).
+var rootsPool sync.Pool
+
+type rootsScratch struct {
+	slots []mem.Addr
+	free  []int32
+}
+
+// acquire adopts pooled backing arrays if the registry is still empty.
+func (r *Roots) acquire() {
+	if r.slots != nil {
+		return
+	}
+	if v := rootsPool.Get(); v != nil {
+		sc := v.(*rootsScratch)
+		r.slots, r.free = sc.slots[:0], sc.free[:0]
+	}
+}
+
+func (r *Roots) release() {
+	if cap(r.slots) == 0 {
+		return
+	}
+	rootsPool.Put(&rootsScratch{slots: r.slots[:0], free: r.free[:0]})
+	r.slots, r.free = nil, nil
+}
+
 // Add registers a root holding o and returns its slot index.
 func (r *Roots) Add(o mem.Addr) int {
+	if r.slots == nil {
+		r.acquire()
+	}
 	if n := len(r.free); n > 0 {
 		i := int(r.free[n-1])
 		r.free = r.free[:n-1]
@@ -237,17 +270,17 @@ func ObjectBytes(s *mem.Space, types *objmodel.Table, o objmodel.Ref) int {
 	return int(mem.RoundUpWord(uint64(t.TotalBytes(n))))
 }
 
-// CopyObject copies o (size bytes total) to dst word by word, through the
-// space, so both pages are touched like a real copy.
+// CopyObject copies o (size bytes total) to dst through the space, so
+// both pages are touched and charged exactly like the word-by-word copy
+// loop (mem.CopyWords batches runs where that is indistinguishable).
 func CopyObject(s *mem.Space, o, dst objmodel.Ref, totalBytes int) {
-	for off := mem.Addr(0); off < mem.Addr(totalBytes); off += mem.WordSize {
-		s.WriteWord(dst+off, s.ReadWord(o+off))
-	}
+	s.CopyWords(dst, o, uint64(totalBytes))
 }
 
 // WorkList is a simple gray stack used by all tracing loops.
 type WorkList struct {
 	items []objmodel.Ref
+	spare []objmodel.Ref // previous Drain buffer, recycled on the next one
 }
 
 // Push adds an object to trace.
@@ -268,14 +301,56 @@ func (w *WorkList) Pop() (objmodel.Ref, bool) {
 func (w *WorkList) Len() int { return len(w.items) }
 
 // Drain hands the queued items to the caller and leaves the list empty.
+// The returned slice is valid until the drain after next: the two
+// buffers rotate, so steady-state draining allocates nothing.
 func (w *WorkList) Drain() []objmodel.Ref {
 	items := w.items
-	w.items = nil
+	w.items = w.spare[:0]
+	w.spare = items
 	return items
 }
 
 // Reset empties the list, retaining capacity.
 func (w *WorkList) Reset() { w.items = w.items[:0] }
+
+// GetWorkList returns an empty gray stack, recycling one retired via
+// PutWorkList so the per-collection tracing loops stop allocating their
+// worklists (and the backing arrays they grow) on every cycle.
+func (e *Env) GetWorkList() *WorkList {
+	if n := len(e.wlFree); n > 0 {
+		w := e.wlFree[n-1]
+		e.wlFree = e.wlFree[:n-1]
+		return w
+	}
+	if v := wlPool.Get(); v != nil {
+		return v.(*WorkList)
+	}
+	return &WorkList{}
+}
+
+// PutWorkList retires w (emptied, capacity kept) for reuse.
+func (e *Env) PutWorkList(w *WorkList) {
+	w.Reset()
+	e.wlFree = append(e.wlFree, w)
+}
+
+// wlPool recycles gray stacks across environments: a sweep retires each
+// Env's worklists when the run ends, so the next run starts with
+// full-grown buffers instead of re-growing them from nil.
+var wlPool sync.Pool
+
+// ReleaseScratch hands the environment's pooled scratch — retired
+// worklists and the root registry's backing arrays — to process-wide
+// pools for the next run. Call only when the run is completely finished.
+func (e *Env) ReleaseScratch(roots *Roots) {
+	for _, w := range e.wlFree {
+		wlPool.Put(w)
+	}
+	e.wlFree = nil
+	if roots != nil {
+		roots.release()
+	}
+}
 
 // PauseClock charges fixed per-collection overhead (root scanning, signal
 // handling, bookkeeping) to the simulated clock.

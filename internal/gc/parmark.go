@@ -1,8 +1,9 @@
 package gc
 
 import (
+	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -214,15 +215,23 @@ type ParMarker struct {
 	env     *Env
 	workers []*markWorker
 
-	// replay merge scratch, reused across rounds.
+	// replay merge and evacuation scratch, reused across rounds.
 	total []uint32
 	pages []mem.PageID
+	edges []DeferredEdge
+	round roundState
 }
 
-// NewParMarker builds an engine with n workers over env.
+// NewParMarker builds an engine with n workers over env. The deques carry
+// 32-bit word-index handles (see Deque), so the space must fit
+// objmodel.MaxHandleSpace — any simulated heap does by orders of
+// magnitude, but the bound is enforced rather than assumed.
 func NewParMarker(env *Env, n int) *ParMarker {
 	if n < 1 {
 		n = 1
+	}
+	if size := uint64(env.Space.Pages()) * mem.PageSize; size > objmodel.MaxHandleSpace {
+		panic(fmt.Sprintf("gc: space size %d exceeds the %d-byte handle range", size, objmodel.MaxHandleSpace))
 	}
 	npg := env.Space.Pages()
 	m := &ParMarker{env: env, total: make([]uint32, npg)}
@@ -250,12 +259,10 @@ func (m *ParMarker) Mark(cfg *ParMarkConfig, work *WorkList, evacuate func(e Def
 	for work.Len() > 0 {
 		rounds++
 		seeds := work.Drain()
-		r := &roundState{
-			cfg:     cfg,
-			view:    m.env.Space.View(),
-			types:   m.env.Types,
-			workers: m.workers,
-		}
+		// Reuse the round scratch: pending is back to zero when a round
+		// ends, so only the per-round fields need refreshing.
+		r := &m.round
+		r.cfg, r.view, r.types, r.workers = cfg, m.env.Space.View(), m.env.Types, m.workers
 		for i, o := range seeds {
 			w := m.workers[i%len(m.workers)]
 			r.pending.Add(1)
@@ -294,7 +301,7 @@ func (m *ParMarker) replay() {
 		}
 		w.touched = w.touched[:0]
 	}
-	sort.Slice(m.pages, func(i, j int) bool { return m.pages[i] < m.pages[j] })
+	slices.Sort(m.pages)
 	for _, pg := range m.pages {
 		m.env.Proc.TouchN(pg, uint64(m.total[pg]), true)
 		m.total[pg] = 0
@@ -304,15 +311,24 @@ func (m *ParMarker) replay() {
 
 // evacuate processes the round's deferred edges in slot order.
 func (m *ParMarker) evacuate(work *WorkList, fn func(e DeferredEdge, work *WorkList)) {
-	var edges []DeferredEdge
+	edges := m.edges[:0]
 	for _, w := range m.workers {
 		edges = append(edges, w.deferred...)
 		w.deferred = w.deferred[:0]
 	}
+	m.edges = edges
 	if len(edges) == 0 {
 		return
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].Slot < edges[j].Slot })
+	slices.SortFunc(edges, func(a, b DeferredEdge) int {
+		switch {
+		case a.Slot < b.Slot:
+			return -1
+		case a.Slot > b.Slot:
+			return 1
+		}
+		return 0
+	})
 	for _, e := range edges {
 		if fn != nil {
 			fn(e, work)

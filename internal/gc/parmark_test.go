@@ -115,8 +115,9 @@ func TestDequeOwnerThiefRace(t *testing.T) {
 	}()
 	var want uint64
 	for i := 1; i <= n; i++ {
-		d.Push(objmodel.Ref(i))
-		want += uint64(i)
+		// Refs must be word-aligned: the deque stores word-index handles.
+		d.Push(objmodel.Ref(i) * mem.WordSize)
+		want += uint64(i) * mem.WordSize
 		// Pop every few pushes so the deque keeps crossing size 1 and 0,
 		// exercising the owner/thief CAS on the final element.
 		if i%3 == 0 {

@@ -1,7 +1,7 @@
 package heap
 
 import (
-	"sort"
+	"slices"
 
 	"bookmarkgc/internal/mem"
 	"bookmarkgc/internal/objmodel"
@@ -20,6 +20,8 @@ type LOS struct {
 	free    *mem.Bitmap      // free pages
 	objects map[mem.Addr]int // object -> pages in its run
 	sorted  []mem.Addr       // allocation order cache for iteration, kept sorted
+	dead    []mem.Addr       // sweep scratch, reused across collections
+	runsBuf [][2]mem.PageID  // Sweep's result buffer, reused across collections
 	dirty   bool             // sorted needs rebuild
 	inUse   int              // pages allocated
 
@@ -127,7 +129,7 @@ func (l *LOS) ForEachObject(fn func(o objmodel.Ref)) {
 		for o := range l.objects {
 			l.sorted = append(l.sorted, o)
 		}
-		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
+		slices.Sort(l.sorted)
 		l.dirty = false
 	}
 	for _, o := range l.sorted {
@@ -170,9 +172,11 @@ func (l *LOS) IsFreePage(p mem.PageID) bool {
 
 // Sweep frees every large object unmarked in epoch. Objects whose header
 // page fails the optional residency filter are skipped (BC never touches
-// evicted pages). Returns freed objects and their page ranges.
+// evicted pages). Returns freed objects and their page ranges; the runs
+// slice is reused by the next Sweep, so callers must not retain it.
 func (l *LOS) Sweep(epoch uint32, resident func(mem.PageID) bool) (freed int, runs [][2]mem.PageID) {
-	var dead []mem.Addr
+	runs = l.runsBuf[:0]
+	dead := l.dead[:0]
 	l.ForEachObject(func(o objmodel.Ref) {
 		if resident != nil && !resident(o.Page()) {
 			return
@@ -182,9 +186,11 @@ func (l *LOS) Sweep(epoch uint32, resident func(mem.PageID) bool) (freed int, ru
 		}
 		dead = append(dead, o)
 	})
+	l.dead = dead
 	for _, o := range dead {
 		f, la := l.Free(o)
 		runs = append(runs, [2]mem.PageID{f, la})
 	}
+	l.runsBuf = runs
 	return len(dead), runs
 }

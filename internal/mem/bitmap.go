@@ -102,6 +102,22 @@ func (b *Bitmap) NextClear(i int) int {
 // WordIndex returns the index of the 64-bit word holding bit i.
 func (b *Bitmap) WordIndex(i int) int { return i >> 6 }
 
+// ForEachSetInWord calls fn with the index of every set bit sharing bit
+// i's 64-bit word, in ascending order — SetBitsInWord without the
+// returned slice, for hot paths that must not allocate.
+func (b *Bitmap) ForEachSetInWord(i int, fn func(idx int)) {
+	wi := i >> 6
+	w := b.w[wi]
+	base := wi << 6
+	for w != 0 {
+		t := bits.TrailingZeros64(w)
+		if idx := base + t; idx < b.n {
+			fn(idx)
+		}
+		w &^= 1 << uint(t)
+	}
+}
+
 // SetBitsInWord returns the indices of all set bits that share bit i's
 // 64-bit word. This is the unit of BC's aggressive discard: when one
 // discardable page is found, every empty page recorded in the same word

@@ -1,0 +1,119 @@
+package mem
+
+import (
+	"sort"
+	"time"
+)
+
+// Clock is the simulated time source shared by every process, the VMM,
+// and the workload driver. All costs in the simulation advance this clock;
+// wall-clock time is never consulted, so runs are deterministic.
+//
+// The clock also carries a small event queue (used by the simulated
+// signalmem process to pin memory at a fixed rate, §5.1 of the paper).
+// Events fire during Advance when simulated time passes their deadline.
+//
+// The clock lives in package mem (rather than vmm, which re-exports it)
+// so the Space's inline word-access fast path can advance it without an
+// interface call. Advance itself is a single add-and-compare against the
+// cached earliest deadline; the event-queue scan only runs when an event
+// is actually due.
+type Clock struct {
+	now     time.Duration
+	nextDue time.Duration // earliest event deadline; clockNever when empty
+	events  []clockEvent
+	firing  bool
+}
+
+type clockEvent struct {
+	at time.Duration
+	fn func()
+}
+
+// clockNever is the cached deadline when no events are scheduled.
+const clockNever = time.Duration(1<<63 - 1)
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{nextDue: clockNever} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward by d and fires any events whose
+// deadline has passed. Nested Advance calls (from inside an event handler
+// or a page-fault path) accumulate time but defer event dispatch to the
+// outermost call, so handlers never re-enter each other.
+func (c *Clock) Advance(d time.Duration) {
+	c.now += d
+	if c.now >= c.nextDue {
+		c.fire()
+	}
+}
+
+// fire dispatches every due event in deadline order, then refreshes the
+// cached earliest deadline. Nested calls return immediately: the
+// outermost dispatch loop picks up anything a handler scheduled or any
+// time it advanced.
+func (c *Clock) fire() {
+	if c.firing {
+		return
+	}
+	c.firing = true
+	defer func() {
+		c.nextDue = clockNever
+		for _, e := range c.events {
+			if e.at < c.nextDue {
+				c.nextDue = e.at
+			}
+		}
+		c.firing = false
+	}()
+	for {
+		i := c.dueIndex()
+		if i < 0 {
+			return
+		}
+		e := c.events[i]
+		c.events = append(c.events[:i], c.events[i+1:]...)
+		e.fn()
+	}
+}
+
+// dueIndex returns the index of the earliest due event, or -1.
+func (c *Clock) dueIndex() int {
+	best := -1
+	for i, e := range c.events {
+		if e.at <= c.now && (best == -1 || e.at < c.events[best].at) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Schedule registers fn to run once simulated time reaches at. Events
+// scheduled in the past fire on the next Advance.
+func (c *Clock) Schedule(at time.Duration, fn func()) {
+	c.events = append(c.events, clockEvent{at, fn})
+	if at < c.nextDue {
+		c.nextDue = at
+	}
+}
+
+// Pending returns the deadlines of all scheduled events, sorted; it is
+// used by drivers that want to idle-skip to the next event.
+func (c *Clock) Pending() []time.Duration {
+	out := make([]time.Duration, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.at
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// eventFreeUntil reports whether no event can fire strictly before the
+// clock has advanced by d — the guard the Space's batched range
+// operations use: within such a window a run of word accesses is
+// indistinguishable, state-wise, from the per-word loop.
+func (c *Clock) eventFreeUntil(d time.Duration) bool {
+	return c.now+d < c.nextDue
+}

@@ -2,14 +2,26 @@
 // entire runtime is built on: byte addresses, page and superpage geometry,
 // and the backing store for a process's heap words.
 //
-// Every word read or written through a Space is reported to a Toucher
-// (in practice the virtual memory manager), which is how page residency,
-// reference bits, and page faults are modeled. Code that bypasses Touch
-// does not exist: the collectors can only reach heap memory through Space,
-// so "who touches which page" is an emergent property of the algorithms.
+// Every word read or written through a Space is reported to the virtual
+// memory manager, which is how page residency, reference bits, and page
+// faults are modeled. Code that bypasses the touch does not exist: the
+// collectors can only reach heap memory through Space, so "who touches
+// which page" is an emergent property of the algorithms.
+//
+// Backing storage is an index-addressed arena (DESIGN.md §15): page
+// bodies live in large fixed slabs that never move, the per-page table
+// maps a PageID to a uint32 body handle (with -1 meaning "never written:
+// reads as zero"), and discarded bodies recycle through a free list. The
+// VMM's hot residency bits live in a side byte array (PageFlags) so the
+// common touch — a resident, unprotected page — is an inline flag check
+// with no interface dispatch and no Go allocation.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // Fundamental geometry. These mirror the paper's platform: 4 KB pages
 // grouped into page-aligned superpages of four contiguous pages (16 KB).
@@ -70,35 +82,188 @@ func RoundUpWord(n uint64) uint64 { return (n + WordSize - 1) &^ (WordSize - 1) 
 
 // A Toucher observes every access to a space, one call per word access.
 // The virtual memory manager implements this to maintain reference bits
-// and to service page faults.
+// and to service page faults. It is the general-purpose observation hook
+// (unit tests install counting touchers); the VMM proper wires the
+// cheaper split path via SetFastTouch instead.
 type Toucher interface {
 	Touch(p PageID, write bool)
 }
 
+// A FaultToucher services the slow half of a fast-touch access: the page
+// was not simply resident and unprotected (fresh, evicted, or protected),
+// so faults, notifications, and queue maintenance are needed. It is
+// called after the word's clock cost has been charged, exactly as the
+// VMM's full Touch observes the world after its own clock advance.
+type FaultToucher interface {
+	FaultTouch(p PageID, write bool)
+}
+
+// Page flag bits for the Space's side array (PageFlags). The flags are
+// owned by the machine's VMM — the Space only reads them on the touch
+// fast path and sets the referenced bit (clearing a pending voluntary
+// surrender) on a resident, unprotected access, mirroring what the VMM's
+// Touch would do. A page with neither state bit set is fresh (never
+// touched, or discarded).
+const (
+	PFResident    uint8 = 1 << 0 // occupies a physical frame
+	PFEvicted     uint8 = 1 << 1 // on the swap device
+	PFProtected   uint8 = 1 << 2 // mprotect(PROT_NONE)
+	PFReferenced  uint8 = 1 << 3 // clock-algorithm reference bit
+	PFSurrendered uint8 = 1 << 4 // vm_relinquish'd; evict without notice
+)
+
+// pfFastMask selects the bits that must equal PFResident for the inline
+// fast path: resident, not evicted, not protected.
+const pfFastMask = PFResident | PFEvicted | PFProtected
+
+// Arena geometry: page bodies are carved from slabs of slabPages bodies
+// (256 KB per slab). Slabs are allocated once and never move, so a body
+// pointer captured by an AtomicView stays valid for its whole phase.
+const (
+	slabPages = 64
+	slabShift = 6  // log2(slabPages)
+	slabMask  = 63 // slabPages - 1
+)
+
+type slab [slabPages * WordsPage]uint64
+
+// arena hands out page bodies by dense uint32 handle with free-list
+// recycling. Handle b lives at words [b&slabMask * WordsPage ...] of
+// slab b>>slabShift.
+type arena struct {
+	slabs []*slab
+	free  []int32 // recycled handles; bodies are zeroed on reuse
+	next  int32   // first never-issued handle
+}
+
+// slabPool recycles slabs across Spaces. A sweep churns through one
+// Space per run, and before pooling the discarded slabs dominated host
+// allocation (and with it host GC frequency). Pooled slabs hold the
+// previous owner's words, so newSlab zeroes them to preserve the
+// fresh-handle-reads-zero invariant.
+var slabPool sync.Pool
+
+func newSlab() *slab {
+	if v := slabPool.Get(); v != nil {
+		s := v.(*slab)
+		*s = slab{}
+		return s
+	}
+	return new(slab)
+}
+
+// alloc returns a body handle and whether it was recycled (and therefore
+// holds stale words the caller must zero).
+func (ar *arena) alloc() (b int32, recycled bool) {
+	if n := len(ar.free); n > 0 {
+		b = ar.free[n-1]
+		ar.free = ar.free[:n-1]
+		return b, true
+	}
+	b = ar.next
+	ar.next++
+	if int(b)>>slabShift >= len(ar.slabs) {
+		ar.slabs = append(ar.slabs, newSlab())
+	}
+	return b, false
+}
+
+// release hands every slab back to the process-wide pool.
+func (ar *arena) release() {
+	for i, s := range ar.slabs {
+		slabPool.Put(s)
+		ar.slabs[i] = nil
+	}
+	ar.slabs = ar.slabs[:0]
+	ar.free = ar.free[:0]
+	ar.next = 0
+}
+
 // Space is the backing store for one process's virtual address space.
-// Backing pages are allocated lazily on first write and read as zero
+// Backing bodies are allocated lazily on first write and read as zero
 // before that, so host memory tracks the pages actually used rather than
 // the (large) virtual region.
 type Space struct {
-	pages [][]uint64 // nil entries read as zero
-	size  Addr       // bytes
-	t     Toucher
+	// bodies is the hot page table: a direct pointer to each page's word
+	// array (nil = unmaterialized). table holds the arena handle behind
+	// each body for free-list recycling.
+	bodies []*[WordsPage]uint64
+	table  []int32 // page -> arena body handle; -1 = unmaterialized
+	size   Addr    // bytes
+	t      Toucher
+
+	// Fast-touch wiring (SetFastTouch). With a clock attached, word
+	// accesses charge the clock inline and only call into ft when the
+	// page is not resident-and-unprotected; without one, every access
+	// goes through the legacy Toucher interface.
+	clock    *Clock
+	wordCost time.Duration
+	ft       FaultToucher
+	flags    []uint8
+
+	ar arena
+
+	// viewCache is the lazily built AtomicView (see view.go); viewDirty
+	// lists pages whose body pointer changed since the view last synced.
+	viewCache *AtomicView
+	viewDirty []PageID
 }
 
 // NewSpace creates a space of the given size in bytes (rounded up to a
 // whole number of pages). The Toucher may be nil (used in unit tests);
-// attach the VMM later with SetToucher.
+// attach the VMM later with SetToucher or SetFastTouch.
 func NewSpace(size uint64, t Toucher) *Space {
 	size = RoundUpPage(size)
-	return &Space{
-		pages: make([][]uint64, size/PageSize),
-		size:  Addr(size),
-		t:     t,
+	npg := size / PageSize
+	s := &Space{
+		bodies: make([]*[WordsPage]uint64, npg),
+		table:  make([]int32, npg),
+		flags:  make([]uint8, npg),
+		size:   Addr(size),
+		t:      t,
 	}
+	for i := range s.table {
+		s.table[i] = -1
+	}
+	// The reserved null page can never satisfy the fast-path flag test
+	// (both state bits set is otherwise impossible), so a page-0 access
+	// always reaches the slow path's full address check.
+	if npg > 0 {
+		s.flags[0] = PFEvicted | PFProtected
+	}
+	return s
+}
+
+// Release returns the space's slabs to the process-wide pool and drops
+// every body pointer. Only call it when the space — and any AtomicView
+// built from it — is dead: recycled slabs are handed to future Spaces,
+// which zero and overwrite them.
+func (s *Space) Release() {
+	for i := range s.bodies {
+		s.bodies[i] = nil
+		s.table[i] = -1
+	}
+	s.viewCache = nil
+	s.viewDirty = nil
+	s.ar.release()
 }
 
 // SetToucher attaches the access observer (the VMM).
 func (s *Space) SetToucher(t Toucher) { s.t = t }
+
+// SetFastTouch wires the inline touch fast path: every word access
+// advances clock by wordCost, then either sets the referenced bit in the
+// page-flag array (resident, unprotected page) or falls through to
+// ft.FaultTouch. The flags array is owned by ft's VMM; see PageFlags.
+func (s *Space) SetFastTouch(clock *Clock, wordCost time.Duration, ft FaultToucher) {
+	s.clock = clock
+	s.wordCost = wordCost
+	s.ft = ft
+}
+
+// PageFlags exposes the per-page flag side array for the VMM to maintain.
+// Entry p holds the PF* bits of page p.
+func (s *Space) PageFlags() []uint8 { return s.flags }
 
 // Size returns the size of the space in bytes.
 func (s *Space) Size() Addr { return s.size }
@@ -106,43 +271,184 @@ func (s *Space) Size() Addr { return s.size }
 // Pages returns the number of pages in the space.
 func (s *Space) Pages() int { return int(s.size >> PageShift) }
 
+// check validates an address; out-of-line badAccess keeps the hot
+// callers free of panic formatting.
 func (s *Space) check(a Addr) {
-	if a >= s.size || !a.Aligned() {
-		panic(fmt.Sprintf("mem: bad address %#x (space size %#x)", a, s.size))
-	}
-	if a < PageSize {
-		panic(fmt.Sprintf("mem: access to reserved null page at %#x", a))
+	if a >= s.size || a < PageSize || a&(WordSize-1) != 0 {
+		s.badAccess(a)
 	}
 }
 
-// ReadWord reads the word at a, touching its page.
+//go:noinline
+func (s *Space) badAccess(a Addr) {
+	if a >= s.size || !a.Aligned() {
+		panic(fmt.Sprintf("mem: bad address %#x (space size %#x)", a, s.size))
+	}
+	panic(fmt.Sprintf("mem: access to reserved null page at %#x", a))
+}
+
+// body returns the word array of arena handle b.
+func (s *Space) body(b int32) *[WordsPage]uint64 {
+	return (*[WordsPage]uint64)(s.ar.slabs[b>>slabShift][(uint64(b)&slabMask)*WordsPage:])
+}
+
+// materialize installs backing for page p, recycling a free body when
+// one is available (zeroing it: a discarded page reads as zero-filled).
+func (s *Space) materialize(p PageID) *[WordsPage]uint64 {
+	b, recycled := s.ar.alloc()
+	s.table[p] = b
+	body := s.body(b)
+	if recycled {
+		clear(body[:])
+	}
+	s.bodies[p] = body
+	if s.viewCache != nil {
+		s.viewDirty = append(s.viewDirty, p)
+	}
+	return body
+}
+
+// touch charges one word access to page p: clock cost first (due events
+// fire now, and may change p's state — eviction under pressure), then
+// the residency check against the post-event flags, exactly as the VMM's
+// Touch orders its own clock advance and state switch.
+func (s *Space) touch(p PageID, write bool) {
+	if c := s.clock; c != nil {
+		c.now += s.wordCost
+		if c.now >= c.nextDue {
+			c.fire()
+		}
+		if f := s.flags[p]; f&pfFastMask == PFResident {
+			s.flags[p] = (f | PFReferenced) &^ PFSurrendered
+		} else {
+			s.ft.FaultTouch(p, write)
+		}
+	} else if s.t != nil {
+		s.t.Touch(p, write)
+	}
+}
+
+// ReadWord reads the word at a, touching its page. The body is written
+// for the inliner: one cold call covers every non-trivial case (no clock
+// wired, an event due within this access, page not resident-unprotected,
+// bad address), so the resident-page common case runs entirely inline in
+// the caller — a clock add, a flag update, and the word load.
 func (s *Space) ReadWord(a Addr) uint64 {
+	c := s.clock
+	p := uint64(a) >> PageShift
+	if c == nil || uint64(a)&(WordSize-1) != 0 || c.now+s.wordCost >= c.nextDue || s.flags[p]&pfFastMask != PFResident {
+		return s.readSlow(a)
+	}
+	c.now += s.wordCost
+	s.flags[p] = (s.flags[p] | PFReferenced) &^ PFSurrendered
+	if arr := s.bodies[p]; arr != nil {
+		return arr[(uint64(a)>>3)&(WordsPage-1)]
+	}
+	return 0
+}
+
+//go:noinline
+func (s *Space) readSlow(a Addr) uint64 {
 	s.check(a)
-	if s.t != nil {
-		s.t.Touch(a.Page(), false)
+	p := a.Page()
+	s.touch(p, false)
+	if arr := s.bodies[p]; arr != nil {
+		return arr[(uint64(a)>>3)&(WordsPage-1)]
 	}
-	pg := s.pages[a.Page()]
-	if pg == nil {
-		return 0
+	return 0
+}
+
+// ReadWordPair performs two consecutive reads of the word at a — the
+// header-decode pattern (type ID then array length) — charging both
+// accesses. When no event can fire inside the two-access window the
+// values are necessarily identical and one load suffices; otherwise the
+// two reads run in full, preserving any state change between them.
+func (s *Space) ReadWordPair(a Addr) (uint64, uint64) {
+	c := s.clock
+	p := uint64(a) >> PageShift
+	if c == nil || uint64(a)&(WordSize-1) != 0 || c.now+2*s.wordCost >= c.nextDue || s.flags[p]&pfFastMask != PFResident {
+		return s.ReadWord(a), s.ReadWord(a)
 	}
-	return pg[(a%PageSize)/WordSize]
+	c.now += 2 * s.wordCost
+	s.flags[p] = (s.flags[p] | PFReferenced) &^ PFSurrendered
+	if arr := s.bodies[p]; arr != nil {
+		v := arr[(uint64(a)>>3)&(WordsPage-1)]
+		return v, v
+	}
+	return 0, 0
 }
 
 // WriteWord writes the word at a, touching its page for writing.
 func (s *Space) WriteWord(a Addr, v uint64) {
-	s.check(a)
-	if s.t != nil {
-		s.t.Touch(a.Page(), true)
+	c := s.clock
+	p := uint64(a) >> PageShift
+	if c == nil || uint64(a)&(WordSize-1) != 0 || c.now+s.wordCost >= c.nextDue || s.flags[p]&pfFastMask != PFResident {
+		s.writeSlow(a, v)
+		return
 	}
-	pg := s.pages[a.Page()]
-	if pg == nil {
+	c.now += s.wordCost
+	s.flags[p] = (s.flags[p] | PFReferenced) &^ PFSurrendered
+	arr := s.bodies[p]
+	if arr == nil {
+		if v == 0 {
+			return // never-written pages read as zero; stay lazy
+		}
+		arr = s.materialize(PageID(p))
+	}
+	arr[(uint64(a)>>3)&(WordsPage-1)] = v
+}
+
+//go:noinline
+func (s *Space) writeSlow(a Addr, v uint64) {
+	s.check(a)
+	p := a.Page()
+	s.touch(p, true)
+	arr := s.bodies[p]
+	if arr == nil {
 		if v == 0 {
 			return
 		}
-		pg = make([]uint64, WordsPage)
-		s.pages[a.Page()] = pg
+		arr = s.materialize(p)
 	}
-	pg[(a%PageSize)/WordSize] = v
+	arr[(uint64(a)>>3)&(WordsPage-1)] = v
+}
+
+// TryBeginRMW starts a batched read-check-write sequence on the word at
+// a — the mark-bit pattern (read status, maybe read+write it back). When
+// ok, one read has been charged and v holds the word; the caller may
+// finish with CommitRMW (charging the second read and the write) or stop
+// after the read. ok is false when the full three-access window is not
+// guaranteed event-free on the fast path; nothing is charged then and the
+// caller must issue the exact per-access ReadWord/WriteWord sequence,
+// which preserves any state change an event could cause mid-sequence.
+func (s *Space) TryBeginRMW(a Addr) (v uint64, ok bool) {
+	c := s.clock
+	p := uint64(a) >> PageShift
+	if c == nil || uint64(a)&(WordSize-1) != 0 || c.now+3*s.wordCost >= c.nextDue || s.flags[p]&pfFastMask != PFResident {
+		return 0, false
+	}
+	c.now += s.wordCost
+	s.flags[p] = (s.flags[p] | PFReferenced) &^ PFSurrendered
+	if arr := s.bodies[p]; arr != nil {
+		return arr[(uint64(a)>>3)&(WordsPage-1)], true
+	}
+	return 0, true
+}
+
+// CommitRMW completes an RMW begun with TryBeginRMW: it charges one more
+// read and one write of a and stores v. Call at most once, only after
+// TryBeginRMW returned ok, with the same a.
+func (s *Space) CommitRMW(a Addr, v uint64) {
+	p := uint64(a) >> PageShift
+	s.clock.now += 2 * s.wordCost
+	arr := s.bodies[p]
+	if arr == nil {
+		if v == 0 {
+			return
+		}
+		arr = s.materialize(PageID(p))
+	}
+	arr[(uint64(a)>>3)&(WordsPage-1)] = v
 }
 
 // ReadAddr reads the word at a as an address.
@@ -151,29 +457,137 @@ func (s *Space) ReadAddr(a Addr) Addr { return Addr(s.ReadWord(a)) }
 // WriteAddr writes an address-valued word.
 func (s *Space) WriteAddr(a Addr, v Addr) { s.WriteWord(a, uint64(v)) }
 
+// rangeFast reports whether n consecutive word accesses to page p can be
+// batched: the fast-touch path is wired, the page is resident and
+// unprotected, and no clock event can fire anywhere in the window — so
+// the per-word loop could not have observed (or caused) any state change
+// the batch would miss.
+func (s *Space) rangeFast(p PageID, n uint64) bool {
+	c := s.clock
+	return c != nil && c.eventFreeUntil(time.Duration(n)*s.wordCost) &&
+		s.flags[p]&pfFastMask == PFResident
+}
+
 // ZeroRange zeroes [a, a+n) (n bytes, word-aligned), touching each page
 // once per word written. Used by allocators when recycling memory.
+// Same-page runs with no clock event due in the window collapse into one
+// batched flag update and clock advance.
 func (s *Space) ZeroRange(a Addr, n uint64) {
 	n = RoundUpWord(n)
-	for off := Addr(0); off < Addr(n); off += WordSize {
-		s.WriteWord(a+off, 0)
+	end := a + Addr(n)
+	for a < end {
+		chunk := a.PageBase() + PageSize
+		if chunk > end {
+			chunk = end
+		}
+		words := uint64(chunk-a) / WordSize
+		if !s.rangeFast(a.Page(), words) {
+			for ; a < chunk; a += WordSize {
+				s.WriteWord(a, 0)
+			}
+			continue
+		}
+		s.check(a)
+		p := a.Page()
+		s.clock.now += time.Duration(words) * s.wordCost
+		s.flags[p] = (s.flags[p] | PFReferenced) &^ PFSurrendered
+		if arr := s.bodies[p]; arr != nil {
+			lo := (a & (PageSize - 1)) >> 3
+			clear(arr[lo : lo+Addr(words)])
+		}
+		a = chunk
 	}
+}
+
+// CopyWords copies n bytes (word-aligned) from src to dst through the
+// space, charging each word's read and write exactly as the equivalent
+// ReadWord/WriteWord loop would. Runs where both pages are fast and no
+// clock event is due within the whole 2n-access window are batched; any
+// other case — including src and dst sharing a page, where the loop's
+// interleaved word order is observable — falls back to the per-word loop.
+func (s *Space) CopyWords(dst, src Addr, n uint64) {
+	n = RoundUpWord(n)
+	for n > 0 {
+		chunk := n
+		if r := PageSize - uint64(src&(PageSize-1)); r < chunk {
+			chunk = r
+		}
+		if r := PageSize - uint64(dst&(PageSize-1)); r < chunk {
+			chunk = r
+		}
+		words := chunk / WordSize
+		sp, dp := src.Page(), dst.Page()
+		if sp == dp || !s.rangeFast(sp, 2*words) || s.flags[dp]&pfFastMask != PFResident {
+			for end := src + Addr(chunk); src < end; src, dst = src+WordSize, dst+WordSize {
+				s.WriteWord(dst, s.ReadWord(src))
+			}
+			n -= chunk
+			continue
+		}
+		s.check(src)
+		s.check(dst)
+		s.clock.now += time.Duration(2*words) * s.wordCost
+		s.flags[sp] = (s.flags[sp] | PFReferenced) &^ PFSurrendered
+		s.flags[dp] = (s.flags[dp] | PFReferenced) &^ PFSurrendered
+		s.copyBodies(dst, src, words)
+		src += Addr(chunk)
+		dst += Addr(chunk)
+		n -= chunk
+	}
+}
+
+// copyBodies moves words between in-page runs, preserving the lazy
+// materialization a WriteWord loop would produce: an all-zero source run
+// never materializes the destination.
+func (s *Space) copyBodies(dst, src Addr, words uint64) {
+	di := (dst & (PageSize - 1)) >> 3
+	da := s.bodies[dst.Page()]
+	sa := s.bodies[src.Page()]
+	if sa == nil {
+		if da != nil {
+			clear(da[di : di+Addr(words)])
+		}
+		return
+	}
+	si := (src & (PageSize - 1)) >> 3
+	sw := sa[si : si+Addr(words)]
+	if da == nil {
+		zero := true
+		for _, w := range sw {
+			if w != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			return
+		}
+		copy(s.materialize(dst.Page())[di:di+Addr(words)], sw)
+		return
+	}
+	copy(da[di:di+Addr(words)], sw)
 }
 
 // PeekWord reads a word without touching the page. It exists only for
 // tests and debug dumps; runtime code must use ReadWord.
 func (s *Space) PeekWord(a Addr) uint64 {
 	s.check(a)
-	pg := s.pages[a.Page()]
-	if pg == nil {
-		return 0
+	if arr := s.bodies[a.Page()]; arr != nil {
+		return arr[(a&(PageSize-1))>>3]
 	}
-	return pg[(a%PageSize)/WordSize]
+	return 0
 }
 
-// ZeroPageRaw zeroes a page's backing store without touching it. The VMM
-// uses this to model madvise(MADV_DONTNEED): a discarded page reads as
-// zero-filled when next faulted in.
+// ZeroPageRaw drops a page's backing body into the arena free list
+// without touching it. The VMM uses this to model madvise(MADV_DONTNEED):
+// a discarded page reads as zero-filled when next faulted in.
 func (s *Space) ZeroPageRaw(p PageID) {
-	s.pages[p] = nil
+	if b := s.table[p]; b >= 0 {
+		s.table[p] = -1
+		s.bodies[p] = nil
+		s.ar.free = append(s.ar.free, b)
+		if s.viewCache != nil {
+			s.viewDirty = append(s.viewDirty, p)
+		}
+	}
 }

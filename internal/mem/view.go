@@ -7,7 +7,7 @@ import (
 
 // AtomicView is a raw, clock-free window onto a Space for the parallel
 // mark engine (internal/gc). Workers trace the heap through it with
-// plain atomic loads and compare-and-swaps: no Toucher runs, so the
+// plain atomic loads and compare-and-swaps: no touch runs, so the
 // simulated clock, fault counters, and eviction machinery stay
 // untouched while goroutines race. The engine records every logical
 // word access it performs through the view and replays the aggregate
@@ -15,31 +15,42 @@ import (
 // keeps the simulation deterministic for any worker count.
 //
 // Raw access is sound because eviction preserves a page's backing words
-// (swap is content-preserving; only Discard zeroes a page, and discards
+// (swap is content-preserving; only Discard frees a body, and discards
 // target empty pages), and because the mutator is stopped: during a
 // parallel phase the only heap writes are the engine's own mark-bit
-// CASes.
+// CASes. Captured body pointers stay valid because arena slabs never
+// move.
 //
-// A view is valid for one stop-the-world phase. Build a fresh one per
-// phase: the Space's backing pages can be discarded (ZeroPageRaw)
-// between phases, which a cached view would not observe.
+// A view is valid for one stop-the-world phase; request a fresh one per
+// phase with Space.View. The Space keeps the view cached and tracks which
+// pages' bodies changed (materialization, ZeroPageRaw recycling) between
+// requests, so re-validating a view costs O(changed pages), not O(space):
+// View applies the pending deltas instead of rebuilding the whole table.
 type AtomicView struct {
 	space *Space
 	mu    sync.Mutex // serializes lazy page materialization
 	pages []atomic.Pointer[[WordsPage]uint64]
 }
 
-// View captures the space's current backing pages for raw atomic access.
+// View captures the space's current backing bodies for raw atomic access.
 func (s *Space) View() *AtomicView {
+	if v := s.viewCache; v != nil {
+		for _, p := range s.viewDirty {
+			v.pages[p].Store(s.bodies[p])
+		}
+		s.viewDirty = s.viewDirty[:0]
+		return v
+	}
 	v := &AtomicView{
 		space: s,
-		pages: make([]atomic.Pointer[[WordsPage]uint64], len(s.pages)),
+		pages: make([]atomic.Pointer[[WordsPage]uint64], len(s.bodies)),
 	}
-	for i, pg := range s.pages {
-		if pg != nil {
-			v.pages[i].Store((*[WordsPage]uint64)(pg))
+	for i, arr := range s.bodies {
+		if arr != nil {
+			v.pages[i].Store(arr)
 		}
 	}
+	s.viewCache = v
 	return v
 }
 
@@ -71,17 +82,16 @@ func (v *AtomicView) CompareAndSwap(a Addr, old, new uint64) bool {
 
 // materialize installs zeroed backing for page p in both the view and
 // the underlying space. Publication through the atomic pointer (and the
-// phase-end join) is what makes the Space-side write safe: no other
-// goroutine reads Space.pages until the parallel phase is over.
+// phase-end join) is what makes the Space-side arena mutation safe: no
+// other goroutine reads the Space's page table until the parallel phase
+// is over.
 func (v *AtomicView) materialize(p PageID) *[WordsPage]uint64 {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if arr := v.pages[p].Load(); arr != nil {
 		return arr
 	}
-	pg := make([]uint64, WordsPage)
-	v.space.pages[p] = pg
-	arr := (*[WordsPage]uint64)(pg)
+	arr := v.space.materialize(p)
 	v.pages[p].Store(arr)
 	return arr
 }

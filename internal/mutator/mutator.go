@@ -113,6 +113,16 @@ type Run struct {
 	rng   *rand.Rand
 	sink  Sink // nil = unobserved
 
+	// Hot-path caches resolved once in NewRun: the root registry, type
+	// table, and space never change identity over a run, and data-word
+	// access has no barrier in any collector (gc.Base.Direct), so the
+	// work loop skips the per-access interface dispatches.
+	base  *gc.Base
+	roots *gc.Roots
+	tt    *objmodel.Table
+	space *mem.Space
+
+	bandTW    int   // cached total of Spec.Sizes weights
 	immortal  []int // root slots
 	pool      []int // root slots, randomly replaced
 	largeRing []int // root slots rotating large survivors (Spec.LargeLive)
@@ -127,7 +137,31 @@ type Run struct {
 // NewRun prepares a run of spec on collector c. Types must have been
 // declared on c's environment.
 func NewRun(spec Spec, c gc.Collector, types Types, seed int64) *Run {
-	return &Run{spec: spec, c: c, types: types, rng: rand.New(rand.NewSource(seed))}
+	r := &Run{spec: spec, c: c, types: types, rng: rand.New(rand.NewSource(seed))}
+	if d, ok := c.(interface{ Direct() *gc.Base }); ok {
+		r.base = d.Direct()
+	}
+	r.roots = c.Roots()
+	env := c.Env()
+	r.tt, r.space = env.Types, env.Space
+	return r
+}
+
+// readData and writeData route payload-word access through the cached
+// Base when the collector exposes one, else through the interface.
+func (r *Run) readData(o objmodel.Ref, d int) uint64 {
+	if r.base != nil {
+		return r.base.ReadData(o, d)
+	}
+	return r.c.ReadData(o, d)
+}
+
+func (r *Run) writeData(o objmodel.Ref, d int, v uint64) {
+	if r.base != nil {
+		r.base.WriteData(o, d, v)
+		return
+	}
+	r.c.WriteData(o, d, v)
 }
 
 // SetSink attaches an event observer (an allocation-trace recorder).
@@ -172,7 +206,7 @@ func (r *Run) start() {
 	if k := r.spec.LargeLive; k > 0 {
 		r.largeRing = make([]int, k)
 		for i := range r.largeRing {
-			r.largeRing[i] = r.c.Roots().Add(mem.Nil)
+			r.largeRing[i] = r.roots.Add(mem.Nil)
 			if r.sink != nil {
 				r.sink.RootAddNil(r.largeRing[i])
 			}
@@ -184,7 +218,7 @@ func (r *Run) start() {
 // and returns its new root slot and size.
 func (r *Run) allocOne() (slot int, size int) {
 	o, sz := r.allocRaw()
-	slot = r.c.Roots().Add(o)
+	slot = r.roots.Add(o)
 	if r.sink != nil {
 		r.sink.RootAdd(slot)
 	}
@@ -192,9 +226,12 @@ func (r *Run) allocOne() (slot int, size int) {
 }
 
 func (r *Run) pickBand() SizeBand {
-	tw := 0
-	for _, b := range r.spec.Sizes {
-		tw += b.Weight
+	tw := r.bandTW
+	if tw == 0 {
+		for _, b := range r.spec.Sizes {
+			tw += b.Weight
+		}
+		r.bandTW = tw
 	}
 	x := r.rng.Intn(tw)
 	for _, b := range r.spec.Sizes {
@@ -282,14 +319,14 @@ func (r *Run) Step(quantum int) bool {
 					// ring, retiring the oldest surviving buffer.
 					slot := r.largeRing[r.largeIdx%len(r.largeRing)]
 					r.largeIdx++
-					r.c.Roots().Set(slot, o)
+					r.roots.Set(slot, o)
 					if r.sink != nil {
 						r.sink.RootSet(slot)
 					}
 				} else {
 					// Long-lived large object: replace a pool entry.
 					i := r.rng.Intn(len(r.pool))
-					r.c.Roots().Set(r.pool[i], o)
+					r.roots.Set(r.pool[i], o)
 					if r.sink != nil {
 						r.sink.RootSet(r.pool[i])
 					}
@@ -300,7 +337,7 @@ func (r *Run) Step(quantum int) bool {
 		if r.rng.Float64() >= r.spec.TempFrac {
 			// Survives: enters the pool, displacing a random entry.
 			i := r.rng.Intn(len(r.pool))
-			r.c.Roots().Set(r.pool[i], o)
+			r.roots.Set(r.pool[i], o)
 			if r.sink != nil {
 				r.sink.RootSet(r.pool[i])
 			}
@@ -308,13 +345,13 @@ func (r *Run) Step(quantum int) bool {
 		// Application work: touch random live objects.
 		for w := 0; w < r.spec.WorkPerAlloc; w++ {
 			s := r.randomLive()
-			obj := r.c.Roots().Get(s)
+			obj := r.roots.Get(s)
 			ri := r.dataIndexOf(obj)
-			v := r.c.ReadData(obj, ri)
+			v := r.readData(obj, ri)
 			r.checksum = r.checksum*31 + v
 			if w&3 == 0 {
 				wi := r.dataIndexOf(obj)
-				r.c.WriteData(obj, wi, v+1)
+				r.writeData(obj, wi, v+1)
 				if r.sink != nil {
 					r.sink.Work(s, ri, true, wi)
 				}
@@ -325,8 +362,8 @@ func (r *Run) Step(quantum int) bool {
 		// Pointer stores between live objects.
 		if r.spec.LinkEvery > 0 && r.nAllocs%uint64(r.spec.LinkEvery) == 0 {
 			ss, ds := r.randomLive(), r.randomLive()
-			src := r.c.Roots().Get(ss)
-			dst := r.c.Roots().Get(ds)
+			src := r.roots.Get(ss)
+			dst := r.roots.Get(ds)
 			if n := r.refSlots(src); n > 0 {
 				i := r.rng.Intn(n)
 				r.c.WriteRef(src, i, dst)
@@ -348,8 +385,7 @@ func (r *Run) Step(quantum int) bool {
 
 // dataIndexOf picks a safe data word index for obj.
 func (r *Run) dataIndexOf(obj objmodel.Ref) int {
-	env := r.c.Env()
-	t, n := env.Types.TypeOf(env.Space, obj)
+	t, n := r.tt.TypeOf(r.space, obj)
 	if t.Kind == objmodel.KindArray {
 		if t.ElemPtr || n == 0 {
 			return 0
@@ -361,8 +397,7 @@ func (r *Run) dataIndexOf(obj objmodel.Ref) int {
 
 // refSlots returns the number of reference slots obj has.
 func (r *Run) refSlots(obj objmodel.Ref) int {
-	env := r.c.Env()
-	t, n := env.Types.TypeOf(env.Space, obj)
+	t, n := r.tt.TypeOf(r.space, obj)
 	return t.NumRefSlots(n)
 }
 

@@ -1,0 +1,20 @@
+package objmodel
+
+import "bookmarkgc/internal/mem"
+
+// Handle is a compact uint32 encoding of a Ref — its word index — used
+// where millions of references are queued and the footprint matters (the
+// mark engine's deques). Word granularity covers spaces up to 32 GB
+// (1<<32 words); NewParMarker enforces the bound when an engine is
+// built. Handle 0 encodes mem.Nil.
+type Handle uint32
+
+// MaxHandleSpace is the largest address space Handles can cover.
+const MaxHandleSpace = uint64(1<<32) * mem.WordSize
+
+// ToHandle compresses o. Every valid Ref is word-aligned, so the word
+// index is exact.
+func ToHandle(o Ref) Handle { return Handle(o / mem.WordSize) }
+
+// Ref expands h back to the reference it encodes.
+func (h Handle) Ref() Ref { return Ref(h) * mem.WordSize }

@@ -75,6 +75,28 @@ func SetMark(s *mem.Space, o Ref, epoch uint32) {
 	s.WriteWord(o, w)
 }
 
+// MarkIfUnmarked marks o in epoch if it is not already marked, reporting
+// whether it performed the mark. It charges exactly what the open-coded
+// Marked + SetMark sequence would: one status-word read when already
+// marked, two reads and a write when not. The batched path applies only
+// when no clock event can fall inside that window; otherwise the exact
+// per-access sequence runs.
+func MarkIfUnmarked(s *mem.Space, o Ref, epoch uint32) bool {
+	if w, ok := s.TryBeginRMW(o); ok {
+		if uint32(w>>epochShift)&uint32(epochMask) == epoch {
+			return false
+		}
+		w = (w &^ (epochMask << epochShift)) | uint64(epoch&uint32(epochMask))<<epochShift
+		s.CommitRMW(o, w)
+		return true
+	}
+	if Marked(s, o, epoch) {
+		return false
+	}
+	SetMark(s, o, epoch)
+	return true
+}
+
 // Forwarded reports whether the object has been copied elsewhere.
 func Forwarded(s *mem.Space, o Ref) bool {
 	return s.ReadWord(o)&forwardedBit != 0
@@ -231,8 +253,10 @@ func (tb *Table) Get(id int32) *Type { return tb.types[id] }
 // Len returns the number of registered types.
 func (tb *Table) Len() int { return len(tb.types) }
 
-// TypeOf reads an object's type descriptor and array length.
+// TypeOf reads an object's type descriptor and array length: two charged
+// header reads (type ID, then array length), batched into one load when
+// no clock event falls between them.
 func (tb *Table) TypeOf(s *mem.Space, o Ref) (*Type, int) {
-	id := TypeID(s, o)
-	return tb.types[id], ArrayLen(s, o)
+	w1, w2 := s.ReadWordPair(o + mem.WordSize)
+	return tb.types[int32(uint32(w1))], int(uint32(w2 >> 32))
 }

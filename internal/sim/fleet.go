@@ -352,6 +352,14 @@ func RunFleet(cfg FleetConfig) FleetResult {
 		byProc:  make(map[*vmm.Proc]*tenant, len(spec.Tenants)),
 		quantum: quantum,
 	}
+	// Every tenant space dies with this fleet; recycle the slabs — and
+	// each Env's worklist and root scratch — for the next run in the sweep.
+	defer func() {
+		for _, t := range f.tenants {
+			t.env.ReleaseScratch(t.col.Roots())
+			t.env.Proc.Space().Release()
+		}
+	}()
 	for _, t := range spec.Tenants {
 		w := t.Weight
 		if w <= 0 {

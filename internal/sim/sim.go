@@ -396,6 +396,14 @@ func Run(cfg RunConfig) (res Result) {
 	if err != nil {
 		return Result{Config: cfg, Err: err}
 	}
+	// The space dies with this run; recycle its slabs — and the Env's
+	// worklist and root scratch — for the next run in the sweep (this
+	// defer is registered first, so it fires after the OOM-recovery defer
+	// below has assembled the Result).
+	defer func() {
+		env.ReleaseScratch(col.Roots())
+		env.Proc.Space().Release()
+	}()
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Attach(v, env, col, cfg.Counters)
 	}

@@ -1,80 +1,13 @@
 package vmm
 
-import (
-	"sort"
-	"time"
-)
+import "bookmarkgc/internal/mem"
 
 // Clock is the simulated time source shared by every process, the VMM,
-// and the workload driver. All costs in the simulation advance this clock;
-// wall-clock time is never consulted, so runs are deterministic.
-//
-// The clock also carries a small event queue (used by the simulated
-// signalmem process to pin memory at a fixed rate, §5.1 of the paper).
-// Events fire during Advance when simulated time passes their deadline.
-type Clock struct {
-	now    time.Duration
-	events []event
-	firing bool
-}
-
-type event struct {
-	at time.Duration
-	fn func()
-}
+// and the workload driver. It lives in package mem so the Space's inline
+// word-access fast path can advance it without an interface call; the
+// alias keeps vmm.Clock as the name the rest of the runtime wires
+// against.
+type Clock = mem.Clock
 
 // NewClock returns a clock at time zero.
-func NewClock() *Clock { return &Clock{} }
-
-// Now returns the current simulated time.
-func (c *Clock) Now() time.Duration { return c.now }
-
-// Advance moves simulated time forward by d and fires any events whose
-// deadline has passed. Nested Advance calls (from inside an event handler
-// or a page-fault path) accumulate time but defer event dispatch to the
-// outermost call, so handlers never re-enter each other.
-func (c *Clock) Advance(d time.Duration) {
-	c.now += d
-	if c.firing {
-		return
-	}
-	c.firing = true
-	defer func() { c.firing = false }()
-	for {
-		i := c.dueIndex()
-		if i < 0 {
-			return
-		}
-		e := c.events[i]
-		c.events = append(c.events[:i], c.events[i+1:]...)
-		e.fn()
-	}
-}
-
-// dueIndex returns the index of the earliest due event, or -1.
-func (c *Clock) dueIndex() int {
-	best := -1
-	for i, e := range c.events {
-		if e.at <= c.now && (best == -1 || e.at < c.events[best].at) {
-			best = i
-		}
-	}
-	return best
-}
-
-// Schedule registers fn to run once simulated time reaches at. Events
-// scheduled in the past fire on the next Advance.
-func (c *Clock) Schedule(at time.Duration, fn func()) {
-	c.events = append(c.events, event{at, fn})
-}
-
-// Pending returns the deadlines of all scheduled events, sorted; it is
-// used by drivers that want to idle-skip to the next event.
-func (c *Clock) Pending() []time.Duration {
-	out := make([]time.Duration, len(c.events))
-	for i, e := range c.events {
-		out[i] = e.at
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func NewClock() *Clock { return mem.NewClock() }

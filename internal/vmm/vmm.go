@@ -7,9 +7,14 @@
 // vm_relinquish system call, madvise(MADV_DONTNEED) discard, mprotect
 // protection faults, and per-page process ownership (the rmap patch).
 //
-// Every access any collector or mutator makes flows through Proc.Touch,
-// so paging behaviour is an emergent property of the algorithms running
-// above, exactly as on the paper's modified 2.4.20 kernel.
+// Every access any collector or mutator makes flows through the touch
+// path, so paging behaviour is an emergent property of the algorithms
+// running above, exactly as on the paper's modified 2.4.20 kernel. The
+// hot per-page state (residency, reference, protection, surrender bits)
+// lives in the Space's flag side array (mem.PageFlags) so the
+// resident-page common case is handled inline by the Space itself; the
+// VMM keeps only the cold bookkeeping (locks, queue stamps) per page and
+// services the slow path via mem.FaultToucher.
 package vmm
 
 import (
@@ -83,21 +88,59 @@ type Handler interface {
 	PageReloaded(p mem.PageID, wasEvicted bool)
 }
 
+// pageInfo holds the cold per-page bookkeeping; the hot bits (state,
+// referenced, protected, surrendered) live in the Space's flag array.
 type pageInfo struct {
-	state       PageState
-	referenced  bool
-	protected   bool
-	locked      bool
-	servicing   bool // fault in progress: page is held, like the kernel page lock
-	surrendered bool // relinquished; evict without re-notifying
-	queued      bool // currently has a live queue entry
-	stamp       uint32
+	locked    bool
+	servicing bool // fault in progress: page is held, like the kernel page lock
+	queued    bool // currently has a live queue entry
+	stamp     uint32
 }
 
 type pageRef struct {
 	pid   int32
 	page  mem.PageID
 	stamp uint32
+}
+
+// refQueue is a head-indexed FIFO of page references. Pops advance the
+// head instead of re-slicing, so the backing array's capacity is reused
+// across reclaim passes instead of sliding forward and reallocating.
+type refQueue struct {
+	refs []pageRef
+	head int
+}
+
+func (q *refQueue) size() int      { return len(q.refs) - q.head }
+func (q *refQueue) push(r pageRef) { q.refs = append(q.refs, r) }
+
+// pop removes the head entry. When the consumed prefix dominates the
+// backing array it is slid away — a pure memory operation (order and
+// live contents unchanged) that keeps append from copying dead entries
+// forever.
+func (q *refQueue) pop() pageRef {
+	r := q.refs[q.head]
+	q.head++
+	if q.head >= 256 && q.head*2 >= len(q.refs) {
+		n := copy(q.refs, q.refs[q.head:])
+		q.refs = q.refs[:n]
+		q.head = 0
+	}
+	return r
+}
+
+// compact rewrites the queue in place, keeping only entries for which
+// keep returns true and resetting the consumed head zone. Order is
+// preserved, so compaction timing never changes which page is reclaimed.
+func (q *refQueue) compact(keep func(pageRef) bool) {
+	out := q.refs[:0]
+	for _, r := range q.refs[q.head:] {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	q.refs = out
+	q.head = 0
 }
 
 // Stats are global VMM counters.
@@ -141,8 +184,8 @@ type VMM struct {
 	batch    int // eviction cluster size (SWAP_CLUSTER_MAX)
 
 	procs     []*Proc
-	active    []pageRef
-	inactive  []pageRef
+	active    refQueue
+	inactive  refQueue
 	reclaimIn bool
 	arbiter   Arbiter
 
@@ -219,8 +262,8 @@ func (v *VMM) CheckAccounting() error {
 	total := 0
 	for _, p := range v.procs {
 		n := 0
-		for i := range p.pages {
-			if p.pages[i].state == Resident {
+		for _, f := range p.flags {
+			if f&mem.PFResident != 0 {
 				n++
 			}
 		}
@@ -270,19 +313,21 @@ func (v *VMM) NewProc(name string, spaceBytes uint64) *Proc {
 		pages: make([]pageInfo, mem.RoundUpPage(spaceBytes)/mem.PageSize),
 	}
 	p.space = mem.NewSpace(spaceBytes, p)
+	p.space.SetFastTouch(v.Clock, v.costs.WordAccess, p)
+	p.flags = p.space.PageFlags()
 	v.procs = append(v.procs, p)
 	return p
 }
 
 // makeResident allocates a frame for (p, pg), reclaiming if needed.
 // Idempotent on an already-resident page: the fault-latency Advance in
-// Touch fires due clock events, and one of them (a delayed notification
-// handler, a pressure spike) may touch the same page and service the
-// fault first — the original faulter then finds the page present, as a
-// second faulter does under the kernel's page lock.
+// the touch path fires due clock events, and one of them (a delayed
+// notification handler, a pressure spike) may touch the same page and
+// service the fault first — the original faulter then finds the page
+// present, as a second faulter does under the kernel's page lock.
 func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
-	if p.pages[pg].state == Resident {
-		p.pages[pg].referenced = true
+	if p.flags[pg]&mem.PFResident != 0 {
+		p.flags[pg] |= mem.PFReferenced
 		return
 	}
 	v.used++
@@ -290,9 +335,7 @@ func (v *VMM) makeResident(p *Proc, pg mem.PageID) {
 	if uint64(p.resident) > p.stats.PeakResident {
 		p.stats.PeakResident = uint64(p.resident)
 	}
-	pi := &p.pages[pg]
-	pi.state = Resident
-	pi.referenced = true
+	p.flags[pg] = mem.PFResident | mem.PFReferenced
 	v.pushActive(p, pg)
 	if v.FreeFrames() < v.lowWater && !v.reclaimIn {
 		if v.reclaimStuck {
@@ -310,7 +353,7 @@ func (v *VMM) pushActive(p *Proc, pg mem.PageID) {
 	pi := &p.pages[pg]
 	pi.stamp++
 	pi.queued = true
-	v.active = append(v.active, pageRef{p.id, pg, pi.stamp})
+	v.active.push(pageRef{p.id, pg, pi.stamp})
 	v.maybeCompactQueues()
 }
 
@@ -318,35 +361,34 @@ func (v *VMM) pushInactive(p *Proc, pg mem.PageID) {
 	pi := &p.pages[pg]
 	pi.stamp++
 	pi.queued = true
-	v.inactive = append(v.inactive, pageRef{p.id, pg, pi.stamp})
+	v.inactive.push(pageRef{p.id, pg, pi.stamp})
 	v.maybeCompactQueues()
 }
 
 // maybeCompactQueues drops lazily-invalidated entries once they dominate,
 // keeping reclaim passes proportional to resident pages rather than to
-// historical churn.
+// historical churn. The trigger counts live entries only (stale included,
+// consumed head zones excluded) — the same quantity the pre-refQueue
+// slices measured — because reclaim's scan budget is derived from it:
+// compacting on a different schedule would change when budget-bounded
+// passes give up, and with it the eviction sequence.
 func (v *VMM) maybeCompactQueues() {
-	if len(v.active)+len(v.inactive) < 4*(v.used+64) {
+	if v.active.size()+v.inactive.size() < 4*(v.used+64) {
 		return
 	}
-	compact := func(q []pageRef) []pageRef {
-		out := q[:0]
-		for _, r := range q {
-			if _, _, ok := v.valid(r); ok {
-				out = append(out, r)
-			}
-		}
-		return out
+	keep := func(r pageRef) bool {
+		_, _, ok := v.valid(r)
+		return ok
 	}
-	v.active = compact(v.active)
-	v.inactive = compact(v.inactive)
+	v.active.compact(keep)
+	v.inactive.compact(keep)
 }
 
 // valid reports whether a queue entry still refers to a live queued page.
 func (v *VMM) valid(r pageRef) (*Proc, *pageInfo, bool) {
 	p := v.procs[r.pid]
 	pi := &p.pages[r.page]
-	if !pi.queued || pi.stamp != r.stamp || pi.state != Resident {
+	if !pi.queued || pi.stamp != r.stamp || p.flags[r.page]&mem.PFResident == 0 {
 		return p, pi, false
 	}
 	return p, pi, true
@@ -369,21 +411,20 @@ func (v *VMM) reclaim() {
 	defer func() { v.reclaimStuck = v.FreeFrames() < v.lowWater }()
 	// Bound total scanning so a fully-referenced memory still terminates:
 	// two full passes clear every reference bit and then evict.
-	budget := 2*(len(v.active)+len(v.inactive)) + 4*v.batch
+	budget := 2*(v.active.size()+v.inactive.size()) + 4*v.batch
 	vetoes := 0
 	for v.FreeFrames() < target && budget > 0 {
 		budget--
-		if len(v.inactive) < v.batch {
+		if v.inactive.size() < v.batch {
 			v.refillInactive()
 		}
-		if len(v.inactive) == 0 {
-			if len(v.active) == 0 {
+		if v.inactive.size() == 0 {
+			if v.active.size() == 0 {
 				break // nothing evictable: every page locked or gone
 			}
 			continue
 		}
-		r := v.inactive[0]
-		v.inactive = v.inactive[1:]
+		r := v.inactive.pop()
 		p, pi, ok := v.valid(r)
 		if !ok {
 			continue
@@ -393,16 +434,17 @@ func (v *VMM) reclaim() {
 			v.pushActive(p, r.page)
 			continue
 		}
-		if pi.referenced && !pi.surrendered {
+		f := p.flags[r.page]
+		if f&mem.PFReferenced != 0 && f&mem.PFSurrendered == 0 {
 			// Second chance: recently used, promote back to active.
-			pi.referenced = false
+			p.flags[r.page] = f &^ mem.PFReferenced
 			v.pushActive(p, r.page)
 			continue
 		}
 		// Cross-owner arbitration: a fleet policy may redirect pressure
 		// away from this owner. Desperation cap: past 2×batch vetoes the
 		// pass stops asking, so reclaim cannot be starved by policy.
-		if v.arbiter != nil && !pi.surrendered && vetoes < 2*v.batch {
+		if v.arbiter != nil && f&mem.PFSurrendered == 0 && vetoes < 2*v.batch {
 			if !v.arbiter.Approve(p, r.page) {
 				vetoes++
 				v.stats.ArbiterVetoes++
@@ -412,14 +454,15 @@ func (v *VMM) reclaim() {
 		}
 		// Schedule the page for eviction: notify the owner first, unless
 		// the page was voluntarily surrendered (already processed).
-		if p.handler != nil && !pi.surrendered {
+		if p.handler != nil && f&mem.PFSurrendered == 0 {
 			v.stats.Notification++
 			v.Clock.Advance(v.costs.Signal)
 			p.handler.EvictionScheduled(r.page)
 			// The handler may have touched the page (vetoing eviction),
 			// locked it, or discarded it altogether.
-			if pi.state != Resident || pi.referenced || pi.locked {
-				if pi.state == Resident && !pi.queued {
+			f = p.flags[r.page]
+			if f&mem.PFResident == 0 || f&mem.PFReferenced != 0 || pi.locked {
+				if f&mem.PFResident != 0 && !pi.queued {
 					v.pushActive(p, r.page)
 				}
 				continue
@@ -434,11 +477,10 @@ func (v *VMM) reclaim() {
 // second chance.
 func (v *VMM) refillInactive() {
 	moved, scanned := 0, 0
-	limit := len(v.active)
-	for moved < v.batch && scanned < limit && len(v.active) > 0 {
+	limit := v.active.size()
+	for moved < v.batch && scanned < limit && v.active.size() > 0 {
 		scanned++
-		r := v.active[0]
-		v.active = v.active[1:]
+		r := v.active.pop()
 		p, pi, ok := v.valid(r)
 		if !ok {
 			continue
@@ -448,8 +490,8 @@ func (v *VMM) refillInactive() {
 			v.pushActive(p, r.page)
 			continue
 		}
-		if pi.referenced {
-			pi.referenced = false
+		if f := p.flags[r.page]; f&mem.PFReferenced != 0 {
+			p.flags[r.page] = f &^ mem.PFReferenced
 			v.pushActive(p, r.page)
 			continue
 		}
@@ -460,12 +502,9 @@ func (v *VMM) refillInactive() {
 
 // evict writes (p, pg) to the swap device and frees its frame.
 func (v *VMM) evict(p *Proc, pg mem.PageID) {
-	pi := &p.pages[pg]
-	pi.state = Evicted
+	p.flags[pg] = mem.PFEvicted
 	p.resident--
-	pi.protected = false
-	pi.surrendered = false
-	pi.queued = false
+	p.pages[pg].queued = false
 	v.used--
 	v.stats.Evictions++
 	p.stats.Evictions++
@@ -486,13 +525,15 @@ type ProcStats struct {
 }
 
 // Proc is one process: an address space plus its page table. It
-// implements mem.Toucher, so it is the Space's access observer.
+// implements mem.FaultToucher (and the general mem.Toucher), so it is
+// the Space's access observer.
 type Proc struct {
 	vmm      *VMM
 	id       int32
 	name     string
 	space    *mem.Space
 	pages    []pageInfo
+	flags    []uint8 // the space's page-flag side array (hot state bits)
 	handler  Handler
 	stats    ProcStats
 	resident int // maintained count of Resident pages, so sampling is O(1)
@@ -516,29 +557,45 @@ func (p *Proc) Register(h Handler) { p.handler = h }
 // stream while forwarding to the original receiver.
 func (p *Proc) Handler() Handler { return p.handler }
 
-// Touch implements mem.Toucher: it is called for every word access.
+// Touch implements mem.Toucher: one full word access, clock cost
+// included. The Space's wired fast path bypasses this for resident,
+// unprotected pages; everything else — and every direct caller (veto
+// touches, page replays) — comes through here.
 func (p *Proc) Touch(pg mem.PageID, write bool) {
+	p.vmm.Clock.Advance(p.vmm.costs.WordAccess)
+	p.FaultTouch(pg, write)
+}
+
+// FaultTouch implements mem.FaultToucher: the state machine of one word
+// access after its clock cost has been charged. The clock advance may
+// have fired events that changed the page's state (even made it
+// resident), so every state is handled here.
+func (p *Proc) FaultTouch(pg mem.PageID, write bool) {
 	v := p.vmm
-	v.Clock.Advance(v.costs.WordAccess)
-	pi := &p.pages[pg]
-	switch pi.state {
-	case Fresh:
-		v.stats.MinorFaults++
-		p.stats.MinorFaults++
-		v.Clock.Advance(v.costs.MinorFault)
-		// The page is locked for the duration of fault service, as the
-		// kernel's page lock does: reclaim triggered while mapping the
-		// frame must not steal it back.
-		pi.servicing = true
-		v.makeResident(p, pg)
-		pi.servicing = false
-	case Evicted:
+	f := p.flags[pg]
+	switch {
+	case f&mem.PFResident != 0:
+		p.flags[pg] = (f | mem.PFReferenced) &^ mem.PFSurrendered
+		if f&mem.PFProtected != 0 {
+			p.flags[pg] &^= mem.PFProtected
+			p.stats.ProtFaults++
+			if p.handler != nil {
+				v.stats.Notification++
+				v.Clock.Advance(v.costs.Signal)
+				p.handler.PageReloaded(pg, false)
+			}
+		}
+	case f&mem.PFEvicted != 0:
 		v.stats.MajorFaults++
 		p.stats.MajorFaults++
 		if v.OnMajorFault != nil {
 			v.OnMajorFault(p.id, pg)
 		}
 		v.Clock.Advance(v.costs.MajorFault)
+		// The page is locked for the duration of fault service, as the
+		// kernel's page lock does: reclaim triggered while mapping the
+		// frame must not steal it back.
+		pi := &p.pages[pg]
 		pi.servicing = true
 		v.makeResident(p, pg)
 		if p.handler != nil {
@@ -547,18 +604,14 @@ func (p *Proc) Touch(pg mem.PageID, write bool) {
 			p.handler.PageReloaded(pg, true)
 		}
 		pi.servicing = false
-	case Resident:
-		pi.referenced = true
-		pi.surrendered = false
-		if pi.protected {
-			pi.protected = false
-			p.stats.ProtFaults++
-			if p.handler != nil {
-				v.stats.Notification++
-				v.Clock.Advance(v.costs.Signal)
-				p.handler.PageReloaded(pg, false)
-			}
-		}
+	default: // fresh
+		v.stats.MinorFaults++
+		p.stats.MinorFaults++
+		v.Clock.Advance(v.costs.MinorFault)
+		pi := &p.pages[pg]
+		pi.servicing = true
+		v.makeResident(p, pg)
+		pi.servicing = false
 	}
 	_ = write
 }
@@ -580,27 +633,30 @@ func (p *Proc) TouchN(pg mem.PageID, n uint64, write bool) {
 }
 
 // State returns the residency state of page pg.
-func (p *Proc) State(pg mem.PageID) PageState { return p.pages[pg].state }
+func (p *Proc) State(pg mem.PageID) PageState {
+	f := p.flags[pg]
+	switch {
+	case f&mem.PFResident != 0:
+		return Resident
+	case f&mem.PFEvicted != 0:
+		return Evicted
+	}
+	return Fresh
+}
 
 // Resident reports whether pg occupies a frame.
-func (p *Proc) Resident(pg mem.PageID) bool { return p.pages[pg].state == Resident }
+func (p *Proc) Resident(pg mem.PageID) bool { return p.flags[pg]&mem.PFResident != 0 }
 
 // Discard models madvise(MADV_DONTNEED): the page's frame (or swap slot)
 // is released and its contents are dropped; the next touch is a cheap
 // zero-fill fault (§3.3.2).
 func (p *Proc) Discard(pg mem.PageID) {
-	pi := &p.pages[pg]
-	switch pi.state {
-	case Resident:
+	if p.flags[pg]&mem.PFResident != 0 {
 		p.vmm.used--
 		p.resident--
-	case Fresh:
-		// Nothing to drop, but still zero below for uniformity.
 	}
-	pi.state = Fresh
-	pi.referenced = false
-	pi.protected = false
-	pi.surrendered = false
+	p.flags[pg] = 0
+	pi := &p.pages[pg]
 	pi.queued = false // lazy-invalidates any queue entry via stamp
 	pi.stamp++
 	p.space.ZeroPageRaw(pg)
@@ -614,12 +670,12 @@ func (p *Proc) Discard(pg mem.PageID) {
 // (§3.4). Non-resident pages are ignored.
 func (p *Proc) Relinquish(pgs []mem.PageID) {
 	for _, pg := range pgs {
-		pi := &p.pages[pg]
-		if pi.state != Resident || pi.locked {
+		f := p.flags[pg]
+		if f&mem.PFResident == 0 || p.pages[pg].locked {
 			continue
 		}
-		pi.surrendered = true
-		pi.referenced = false
+		p.flags[pg] = (f | mem.PFSurrendered) &^ mem.PFReferenced
+		pi := &p.pages[pg]
 		pi.queued = false
 		pi.stamp++
 		p.vmm.pushInactive(p, pg)
@@ -635,22 +691,21 @@ func (p *Proc) Relinquish(pgs []mem.PageID) {
 // next touch raises a protection fault delivered via PageReloaded. BC uses
 // this to close the race between scanning a page and its eviction (§3.4).
 func (p *Proc) Protect(pg mem.PageID) {
-	pi := &p.pages[pg]
-	if pi.state == Resident {
-		pi.protected = true
+	if p.flags[pg]&mem.PFResident != 0 {
+		p.flags[pg] |= mem.PFProtected
 	}
 }
 
 // Unprotect re-enables access without a fault.
-func (p *Proc) Unprotect(pg mem.PageID) { p.pages[pg].protected = false }
+func (p *Proc) Unprotect(pg mem.PageID) { p.flags[pg] &^= mem.PFProtected }
 
 // Protected reports whether the page is access-protected.
-func (p *Proc) Protected(pg mem.PageID) bool { return p.pages[pg].protected }
+func (p *Proc) Protected(pg mem.PageID) bool { return p.flags[pg]&mem.PFProtected != 0 }
 
 // Lock pins a resident page in memory (mlock); it will never be chosen
 // for eviction. Touches the page in first if needed.
 func (p *Proc) Lock(pg mem.PageID) {
-	if p.pages[pg].state != Resident {
+	if p.flags[pg]&mem.PFResident == 0 {
 		p.Touch(pg, true)
 	}
 	p.pages[pg].locked = true

@@ -66,7 +66,7 @@ func TestQueueCompactionBoundsGrowth(t *testing.T) {
 			p.Discard(mem.PageID(i))
 		}
 	}
-	if got := len(v.active) + len(v.inactive); got > 4*(v.used+64)+64 {
+	if got := v.active.size() + v.inactive.size(); got > 4*(v.used+64)+64 {
 		t.Fatalf("queues grew to %d entries for %d resident pages", got, v.used)
 	}
 }
